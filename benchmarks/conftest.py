@@ -1,0 +1,30 @@
+"""Benchmark harness helpers.
+
+Every benchmark regenerates one paper table/figure, times it with
+pytest-benchmark, asserts the DESIGN.md shape criteria, and writes the
+reproduced data to ``benchmarks/results/<name>.txt`` so the artifacts
+survive output capturing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def write_result(results_dir):
+    def _write(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}")
+
+    return _write

@@ -1,0 +1,87 @@
+"""Ablation: FM min-cut bipartition vs a naive interleaved splitter.
+
+Two findings:
+
+1. On a *flat* NVLink chain (no hierarchy boundary to fall back on),
+   replacing the Fiduccia-Mattheyses cut with a topology-blind even/odd
+   interleave produces mappings with measurably higher communication
+   cost (Eq. 3) -- the FM stage earns its keep exactly where the
+   machine offers no structural hints.
+2. On hierarchical machines (Minsky), the utility-driven job
+   bipartition (Algorithm 3) largely *rescues* a bad physical split by
+   steering tasks toward close regions -- evidence of the algorithm's
+   robustness, reported here as data.
+"""
+
+from unittest import mock
+
+from repro.core import drb as drb_module
+from repro.core.drb import drb_map
+from repro.core.utility import communication_cost
+from repro.topology.allocation import AllocationState
+from repro.topology.builders import power8_minsky
+from repro.topology.graph import NodeKind, TopologyGraph
+from repro.topology.links import LinkSpec
+from repro.workload.job import Job, ModelType
+from repro.workload.jobgraph import data_parallel_graph
+
+
+def nvlink_chain_machine(n_gpus: int = 6) -> TopologyGraph:
+    """One socket, GPUs joined in an NVLink chain (flat mesh region)."""
+    topo = TopologyGraph("chain")
+    topo.add_node("m0", NodeKind.MACHINE)
+    topo.add_node("m0/s0", NodeKind.SOCKET, machine="m0")
+    topo.add_edge("m0/s0", "m0", 20.0, LinkSpec.xbus())
+    names = []
+    for i in range(n_gpus):
+        name = f"m0/gpu{i}"
+        topo.add_node(name, NodeKind.GPU, machine="m0", socket="m0/s0", gpu_index=i)
+        topo.add_edge(name, "m0/s0", 2.0, LinkSpec.pcie())
+        names.append(name)
+    for a, b in zip(names, names[1:]):
+        topo.add_edge(a, b, 1.0, LinkSpec.nvlink(1))
+    topo.validate()
+    return topo
+
+
+def naive_bipartition(topo, gpus):
+    """Topology-blind even/odd interleave."""
+    gpus = sorted(gpus)
+    return tuple(gpus[::2]), tuple(gpus[1::2])
+
+
+def map_cost(topo, job, patched: bool) -> float:
+    alloc = AllocationState(topo)
+    graph = data_parallel_graph(job)
+    if patched:
+        with mock.patch.object(drb_module, "physical_bipartition", naive_bipartition):
+            mapping = drb_map(topo, alloc, job, graph, topo.gpus(), {})
+    else:
+        mapping = drb_map(topo, alloc, job, graph, topo.gpus(), {})
+    return communication_cost(topo, list(mapping.values()))
+
+
+def run_all():
+    chain = nvlink_chain_machine()
+    chain_job = Job("j", ModelType.ALEXNET, 1, 3)
+    minsky = power8_minsky()
+    minsky_job = Job("j", ModelType.ALEXNET, 1, 2)
+    return {
+        "chain/fm": map_cost(chain, chain_job, patched=False),
+        "chain/naive": map_cost(chain, chain_job, patched=True),
+        "minsky/hierarchy": map_cost(minsky, minsky_job, patched=False),
+        "minsky/naive": map_cost(minsky, minsky_job, patched=True),
+    }
+
+
+def test_ablation_fm(benchmark, write_result):
+    data = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    lines = [f"{name:<18} comm_cost={cost:.1f}" for name, cost in data.items()]
+    write_result("ablation_fm", "\n".join(lines))
+
+    # flat region: FM strictly beats the interleave
+    assert data["chain/fm"] < data["chain/naive"]
+    # hierarchical machine: the utility-driven job split rescues even a
+    # naive physical cut (robustness), so both reach the optimum
+    assert data["minsky/hierarchy"] <= data["minsky/naive"]
+    assert data["minsky/hierarchy"] == 1.0  # NVLink pair

@@ -1,0 +1,60 @@
+"""Ablation: the interference term of the utility function.
+
+With alpha_b = 0 the scheduler's fragmentation preference packs a new
+tiny-batch job into the socket already hosting a bus-hungry neighbour;
+with the paper's equal weights it picks the quiet socket, avoiding the
+DRAM/bus contention channel.
+"""
+
+from repro.core.utility import UtilityParams
+from repro.schedulers import make_scheduler
+from repro.sim.engine import Simulator
+from repro.sim.metrics import qos_slowdown
+from repro.topology.builders import power8_minsky
+from repro.workload.job import Job, ModelType
+
+
+def jobs():
+    return [
+        Job("noisy", ModelType.ALEXNET, 1, 1, arrival_time=0.0, iterations=2000),
+        Job("victim", ModelType.ALEXNET, 1, 1, arrival_time=5.0, iterations=2000),
+    ]
+
+
+def run_both():
+    out = {}
+    for name, params in (
+        ("with-interference", UtilityParams()),
+        ("alpha_b=0", UtilityParams(alpha_cc=0.5, alpha_b=0.0, alpha_d=0.5)),
+    ):
+        sim = Simulator(
+            power8_minsky(), make_scheduler("TOPO-AWARE-P"), jobs(), params=params
+        )
+        result = sim.run()
+        topo_sockets = {
+            rec.job.job_id: rec.gpus[0].split("gpu")[1] for rec in result.records
+        }
+        out[name] = {
+            "result": result,
+            "victim_slowdown": qos_slowdown(result.record_of("victim")),
+            "same_socket": int(topo_sockets["noisy"]) // 2
+            == int(topo_sockets["victim"]) // 2,
+        }
+    return out
+
+
+def test_ablation_interference(benchmark, write_result):
+    data = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    lines = [
+        f"{name:<18} same_socket={row['same_socket']} "
+        f"victim_qos_slowdown={row['victim_slowdown']:.4f}"
+        for name, row in data.items()
+    ]
+    write_result("ablation_interference", "\n".join(lines))
+
+    assert not data["with-interference"]["same_socket"]
+    assert data["alpha_b=0"]["same_socket"]
+    assert (
+        data["with-interference"]["victim_slowdown"]
+        <= data["alpha_b=0"]["victim_slowdown"] + 1e-9
+    )

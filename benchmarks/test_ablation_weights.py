@@ -1,0 +1,59 @@
+"""Ablation: utility weights alpha_cc / alpha_b / alpha_d (Eq. 1).
+
+The paper fixes equal weights (0.33 each).  This ablation runs scenario
+1 with each objective term switched off in turn and shows that the
+communication term carries most of the QoS benefit while the
+interference term is what removes the co-location tail.
+"""
+
+import numpy as np
+
+from repro.analysis.scenarios import scenario1_jobs
+from repro.core.utility import UtilityParams
+from repro.schedulers import make_scheduler
+from repro.sim.engine import Simulator
+from repro.sim.metrics import qos_slowdown
+from repro.topology.builders import cluster
+
+CONFIGS = {
+    "equal (paper)": UtilityParams(),
+    "comm-only": UtilityParams(alpha_cc=1.0, alpha_b=0.0, alpha_d=0.0),
+    "no-comm": UtilityParams(alpha_cc=0.0, alpha_b=0.5, alpha_d=0.5),
+    "no-interference": UtilityParams(alpha_cc=0.5, alpha_b=0.0, alpha_d=0.5),
+}
+
+
+def run_all():
+    jobs = scenario1_jobs(80, seed=11)
+    out = {}
+    for name, params in CONFIGS.items():
+        sim = Simulator(
+            cluster(5), make_scheduler("TOPO-AWARE-P"), jobs, params=params
+        )
+        result = sim.run()
+        finished = [r for r in result.records if r.finished_at is not None]
+        out[name] = {
+            "mean_qos": float(np.mean([qos_slowdown(r) for r in finished])),
+            "max_qos": float(np.max([qos_slowdown(r) for r in finished])),
+            "makespan": result.makespan,
+        }
+    return out
+
+
+def test_ablation_weights(benchmark, write_result):
+    data = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    lines = [f"{'config':<18}{'mean qos':>10}{'max qos':>10}{'makespan':>11}"]
+    for name, row in data.items():
+        lines.append(
+            f"{name:<18}{row['mean_qos']:>10.4f}{row['max_qos']:>10.3f}"
+            f"{row['makespan']:>11.1f}"
+        )
+    write_result("ablation_weights", "\n".join(lines))
+
+    # dropping the communication term must hurt placement quality
+    assert data["no-comm"]["mean_qos"] >= data["equal (paper)"]["mean_qos"] - 1e-9
+    # the full objective is never worse than ignoring interference
+    assert (
+        data["equal (paper)"]["mean_qos"]
+        <= data["no-interference"]["mean_qos"] + 1e-9
+    )

@@ -1,0 +1,47 @@
+"""Bursty-arrival robustness (beyond the paper's Poisson workloads).
+
+Real cloud traces clump; the Markov-modulated generator stresses the
+schedulers with arrival bursts at the same mean rate.  The
+topology-aware policy must keep its lead when the queue periodically
+floods -- postponement must not collapse into starvation.
+"""
+
+import numpy as np
+
+from repro.sim.engine import run_comparison
+from repro.sim.metrics import comparison_table, qos_slowdown
+from repro.topology.builders import cluster
+from repro.workload.generator import GeneratorConfig, WorkloadGenerator
+
+
+def run_all():
+    out = {}
+    for label, burstiness in (("poisson", 1.0), ("bursty-3x", 3.0)):
+        cfg = GeneratorConfig(arrival_rate_per_min=2.2, burstiness=burstiness)
+        jobs = WorkloadGenerator(cfg, seed=42).generate(100)
+        out[label] = run_comparison(lambda: cluster(5), jobs)
+    return out
+
+
+def test_bursty_arrivals(benchmark, write_result):
+    data = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    text = ""
+    for label, results in data.items():
+        text += f"[{label}]\n"
+        text += comparison_table(list(results.values())) + "\n\n"
+    write_result("bursty_arrivals", text.rstrip())
+
+    for label, results in data.items():
+        def mean_qos(name):
+            recs = [
+                r for r in results[name].records if r.finished_at is not None
+            ]
+            return float(np.mean([qos_slowdown(r) for r in recs]))
+
+        # the lead survives bursts
+        assert mean_qos("TOPO-AWARE-P") <= mean_qos("BF") + 1e-9, label
+        # no starvation under the postponing policy
+        assert all(
+            r.finished_at is not None
+            for r in results["TOPO-AWARE-P"].records
+        ), label

@@ -1,0 +1,68 @@
+"""Micro-benchmarks of the core algorithms (complexity sanity).
+
+The paper analyses DRB as Theta(|E_A| * log2(|V_P|)) plus a
+Theta(|V_P|) host-filtering pass; these benchmarks keep the constant
+factors honest and catch algorithmic regressions.
+"""
+
+import pytest
+
+from repro.core.bipartition import gpu_affinity, physical_bipartition
+from repro.core.drb import drb_map
+from repro.core.fm import fm_bipartition
+from repro.core.placement import PlacementEngine
+from repro.topology.allocation import AllocationState
+from repro.topology.builders import cluster, dgx1
+from repro.workload.job import Job, ModelType
+from repro.workload.jobgraph import data_parallel_graph
+
+
+def test_bench_fm_on_dgx_affinity(benchmark):
+    topo = dgx1()
+    gpus = topo.gpus()
+    aff = gpu_affinity(topo, gpus)
+    result = benchmark(fm_bipartition, gpus, aff)
+    assert len(result.side0) + len(result.side1) == 8
+
+
+def test_bench_physical_bipartition(benchmark):
+    topo = dgx1()
+    result = benchmark(physical_bipartition, topo, topo.gpus())
+    assert len(result[0]) + len(result[1]) == 8
+
+
+def test_bench_drb_map_dgx(benchmark):
+    topo = dgx1()
+    alloc = AllocationState(topo)
+    job = Job("j", ModelType.ALEXNET, 1, 4)
+    graph = data_parallel_graph(job)
+
+    mapping = benchmark(drb_map, topo, alloc, job, graph, topo.gpus(), {})
+    assert len(mapping) == 4
+
+
+@pytest.mark.parametrize("n_machines", [10, 50])
+def test_bench_engine_propose_on_cluster(benchmark, n_machines):
+    topo = cluster(n_machines)
+    alloc = AllocationState(topo)
+    engine = PlacementEngine(topo, alloc)
+    job = Job("j", ModelType.ALEXNET, 1, 2, min_utility=0.5)
+    solution = benchmark(engine.propose, job)
+    assert solution is not None and solution.p2p
+
+
+def test_bench_simulated_round_trip(benchmark):
+    """One full schedule->place->release cycle on a mid-size cluster."""
+    topo = cluster(20)
+
+    def cycle():
+        alloc = AllocationState(topo)
+        engine = PlacementEngine(topo, alloc)
+        job = Job("j", ModelType.ALEXNET, 1, 2, min_utility=0.5)
+        sol = engine.propose(job)
+        engine.enforce(sol)
+        alloc.release("j")
+        return sol
+
+    sol = benchmark(cycle)
+    assert sol.utility > 0.9

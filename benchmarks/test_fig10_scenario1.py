@@ -1,0 +1,43 @@
+"""Figure 10, scenario 1: 100 jobs on 5 machines.
+
+Paper: TOPO-AWARE-P slightly best with no SLO violations; both
+topology-aware policies clearly beat the greedy ones once queue
+waiting counts; FCFS adds slowdown to the most jobs.
+"""
+
+import numpy as np
+
+from repro.analysis.figures import fig10_scenario1
+from repro.sim.metrics import comparison_table, slo_violations
+
+
+def _slowdown_rows(series: dict) -> str:
+    lines = []
+    for name, vals in series.items():
+        head = " ".join(f"{v:.2f}" for v in vals[:12])
+        lines.append(f"{name:<14} worst12: {head}")
+    return "\n".join(lines)
+
+
+def test_fig10_scenario1(benchmark, write_result):
+    data = benchmark.pedantic(fig10_scenario1, rounds=1, iterations=1)
+    results = data["results"]
+    text = comparison_table(list(results.values()))
+    text += "\n\nQoS slowdowns (Fig 10a):\n" + _slowdown_rows(data["qos"])
+    text += "\n\nQoS+waiting slowdowns (Fig 10b):\n" + _slowdown_rows(data["total"])
+    write_result("fig10_scenario1", text)
+
+    mean_total = {
+        n: float(np.mean(v)) if len(v) else 0.0 for n, v in data["total"].items()
+    }
+    # topology-aware policies beat the greedy ones with waiting counted
+    assert mean_total["TOPO-AWARE-P"] <= mean_total["BF"] + 1e-9
+    assert mean_total["TOPO-AWARE-P"] <= mean_total["FCFS"] + 1e-9
+    assert mean_total["TOPO-AWARE"] <= mean_total["FCFS"] + 1e-9
+    # TOPO-AWARE-P never violates SLOs
+    assert slo_violations(results["TOPO-AWARE-P"].records) == []
+    # FCFS penalises the most jobs (Fig 10a narrative)
+    affected = {
+        n: int(np.sum(v > 0.05)) for n, v in data["total"].items()
+    }
+    assert affected["FCFS"] >= affected["TOPO-AWARE-P"]

@@ -1,0 +1,35 @@
+"""Figure 11, scenario 2: 10k jobs on 1k machines (heavily loaded).
+
+Paper: "FCFS has the worst performance, followed by BF; the new
+algorithm significantly and consistently outperforms the greedy
+algorithms in achieving the least slowdown and in minimizing the
+waiting time."
+
+Runs at 1/10 scale by default (1000 jobs / 100 machines); set
+``REPRO_FULL_SCALE=1`` for the paper's full size.
+"""
+
+import numpy as np
+
+from repro.analysis.figures import fig11_scenario2
+from repro.sim.metrics import comparison_table, mean_waiting_time
+
+
+def test_fig11_scenario2(benchmark, write_result):
+    data = benchmark.pedantic(fig11_scenario2, rounds=1, iterations=1)
+    results = data["results"]
+    header = f"scale: {data['n_jobs']} jobs, {data['n_machines']} machines\n"
+    write_result(
+        "fig11_scenario2", header + comparison_table(list(results.values()))
+    )
+
+    mean_total = {
+        n: float(np.mean(v)) if len(v) else 0.0 for n, v in data["total"].items()
+    }
+    waits = {n: mean_waiting_time(r.records) for n, r in results.items()}
+    # the topology-aware policies achieve the least slowdown...
+    assert mean_total["TOPO-AWARE-P"] <= mean_total["BF"] + 1e-9
+    assert mean_total["TOPO-AWARE-P"] <= mean_total["FCFS"] + 1e-9
+    # ...and minimise waiting; FCFS is the worst performer
+    assert waits["TOPO-AWARE-P"] <= waits["FCFS"] + 1e-9
+    assert mean_total["FCFS"] == max(mean_total.values())

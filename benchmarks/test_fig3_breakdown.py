@@ -1,0 +1,23 @@
+"""Figure 3: GPU compute vs communication breakdown.
+
+Paper: compute grows ~1 s -> ~66 s per 40 AlexNet iterations as batch
+grows 1 -> 128 while communication stays ~2 s; GoogLeNet communicates
+far less than the AlexNet-family networks.
+"""
+
+from repro.analysis.figures import fig3_breakdown
+from repro.analysis.tables import format_breakdown_table
+
+
+def test_fig3_breakdown(benchmark, write_result):
+    data = benchmark(fig3_breakdown)
+    write_result("fig3_breakdown", format_breakdown_table(data))
+
+    tiny = data[("alexnet", "tiny", "pack")]
+    big = data[("alexnet", "big", "pack")]
+    assert tiny["comm_fraction"] > 0.5 > big["comm_fraction"]
+    assert 0.5 < tiny["compute_s"] < 2.0
+    assert 55 < big["compute_s"] < 80
+    assert 1.5 < tiny["comm_s"] < 3.0
+    goog = data[("googlenet", "tiny", "pack")]
+    assert goog["comm_fraction"] < 0.3 * tiny["comm_fraction"]

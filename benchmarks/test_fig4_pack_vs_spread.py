@@ -1,0 +1,21 @@
+"""Figure 4: pack-vs-spread speedup per batch size.
+
+Paper: AlexNet peaks at ~1.30x for batch 1-2, approaching parity for
+batches >= 16; CaffeRef slightly below AlexNet; GoogLeNet flat.
+"""
+
+from repro.analysis.figures import fig4_pack_vs_spread
+from repro.analysis.tables import format_speedup_table
+
+
+def test_fig4_pack_vs_spread(benchmark, write_result):
+    data = benchmark(fig4_pack_vs_spread)
+    write_result("fig4_pack_vs_spread", format_speedup_table(data))
+
+    alex = dict(zip(data["batch_sizes"], data["alexnet"]))
+    assert 1.2 <= alex[1] <= 1.4
+    assert alex[128] < 1.05
+    assert all(s < 1.1 for b, s in alex.items() if b >= 16)
+    assert max(data["googlenet"]) < 1.06
+    for model in ("alexnet", "cafferef"):
+        assert data[model] == sorted(data[model], reverse=True)

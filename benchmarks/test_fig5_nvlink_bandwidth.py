@@ -1,0 +1,36 @@
+"""Figure 5: NVLink bandwidth usage over time for AlexNet.
+
+Paper: batch 1 reaches ~40 GB/s, batch 128 barely reaches ~6 GB/s;
+traffic stops when the job completes.
+"""
+
+import numpy as np
+
+from repro.analysis.figures import fig5_nvlink_bandwidth
+
+
+def _series_table(data) -> str:
+    lines = ["batch   mean_gbs   peak_gbs   active_s"]
+    for batch, (times, gbs) in sorted(data.items()):
+        active = gbs[gbs > 0]
+        lines.append(
+            f"{batch:>5}   {active.mean() if len(active) else 0:>8.2f}"
+            f"   {gbs.max():>8.2f}   {len(active) * (times[1] - times[0]):>8.1f}"
+        )
+    return "\n".join(lines)
+
+
+def test_fig5_nvlink_bandwidth(benchmark, write_result):
+    data = benchmark(fig5_nvlink_bandwidth)
+    write_result("fig5_nvlink_bandwidth", _series_table(data))
+
+    means = {
+        b: (g[g > 0].mean() if (g > 0).any() else 0.0) for b, (t, g) in data.items()
+    }
+    assert means[1] > means[4] > means[64] > means[128]
+    assert means[1] > 20.0
+    assert means[128] < 6.0
+    # every series is non-negative and bounded by the link burst rate
+    for batch, (times, gbs) in data.items():
+        assert np.all(gbs >= 0.0)
+        assert gbs.max() <= 44.1  # dual NVLink + ripple headroom

@@ -1,0 +1,24 @@
+"""Figure 6: co-location slowdown of two AlexNet jobs.
+
+Paper anchors: tiny+tiny ~30%; big aggressor vs tiny victim ~24%; vs
+small victim ~21%; big+big ~0.
+"""
+
+import pytest
+
+from repro.analysis.figures import fig6_collocation
+from repro.analysis.tables import format_collocation_table
+
+
+def test_fig6_collocation(benchmark, write_result):
+    data = benchmark(fig6_collocation)
+    write_result("fig6_collocation", format_collocation_table(data))
+
+    assert data[("tiny", "tiny")] == pytest.approx(0.30, abs=0.04)
+    assert data[("big", "tiny")] == pytest.approx(0.24, abs=0.04)
+    assert data[("big", "small")] == pytest.approx(0.21, abs=0.04)
+    assert data[("big", "big")] < 0.05
+    order = ("tiny", "small", "medium", "big")
+    for row in order:
+        vals = [data[(row, col)] for col in order]
+        assert vals == sorted(vals, reverse=True)

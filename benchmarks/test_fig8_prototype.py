@@ -1,0 +1,50 @@
+"""Figure 8 + Table 1: the prototype scenario under all four policies.
+
+Paper: cumulative execution times BF ~461.7 s, FCFS ~456.2 s,
+TOPO-AWARE ~454.2 s, TOPO-AWARE-P ~356.9 s => TOPO-AWARE-P speedup
+~1.30x / 1.28x / 1.27x; TOPO-AWARE-P is the only policy giving Job 3
+P2P, and the topology-aware policies violate no SLOs.
+"""
+
+from repro.analysis.figures import fig8_prototype
+from repro.analysis.gantt import gantt_chart
+from repro.sim.metrics import bandwidth_timeline, comparison_table, slo_violations
+from repro.workload.profiles import default_database
+
+
+def test_fig8_prototype(benchmark, write_result):
+    results = benchmark(fig8_prototype)
+    profiles = default_database()
+    text = comparison_table(list(results.values())) + "\n"
+    for result in results.values():
+        text += "\n" + gantt_chart(result) + "\n"
+        _, p2p, routed = bandwidth_timeline(result.records, profiles)
+        text += (
+            f"bus traffic: P2P peak {p2p.max():.1f} GB/s, "
+            f"host-routed peak {routed.max():.1f} GB/s\n"
+        )
+    write_result("fig8_prototype", text)
+
+    # Figure 8's lower strips: the greedy policies route the multi-GPU
+    # traffic through the CPUs, TOPO-AWARE-P moves it all over P2P
+    _, p2p_bf, routed_bf = bandwidth_timeline(results["BF"].records, profiles)
+    _, p2p_tp, routed_tp = bandwidth_timeline(
+        results["TOPO-AWARE-P"].records, profiles
+    )
+    assert routed_bf.max() > 0.0
+    assert routed_tp.max() == 0.0 and p2p_tp.max() > 0.0
+
+    spans = {n: r.makespan for n, r in results.items()}
+    # who wins, by roughly the paper's factor
+    assert spans["TOPO-AWARE-P"] < min(spans["BF"], spans["FCFS"])
+    assert 1.15 <= spans["BF"] / spans["TOPO-AWARE-P"] <= 1.45
+    assert 1.15 <= spans["FCFS"] / spans["TOPO-AWARE-P"] <= 1.45
+    # SLO behaviour
+    assert slo_violations(results["TOPO-AWARE-P"].records) == []
+    assert slo_violations(results["TOPO-AWARE"].records) == []
+    assert len(slo_violations(results["BF"].records)) >= 1
+    # only the topology-aware policies give the P2P-hungry Job 3 a
+    # peer-to-peer pair
+    assert results["TOPO-AWARE-P"].record_of("job3").p2p
+    assert not results["BF"].record_of("job3").p2p
+    assert not results["FCFS"].record_of("job3").p2p

@@ -1,0 +1,28 @@
+"""Figure 9: validation of the simulator against the prototype.
+
+Paper: "The algorithms behave very similarly in both prototype and the
+simulation."  Here the prototype path (manifest + INI configs +
+enforcement) must agree with the direct simulator to numerical
+precision, since the substituted execution backend is shared.
+"""
+
+from repro.analysis.figures import fig9_sim_validation
+
+
+def _table(deltas) -> str:
+    lines = ["scheduler       max_delta_s   mean_delta_s"]
+    for name, per_job in deltas.items():
+        vals = list(per_job.values())
+        lines.append(
+            f"{name:<14}  {max(vals):>10.2e}   {sum(vals) / len(vals):>10.2e}"
+        )
+    return "\n".join(lines)
+
+
+def test_fig9_sim_validation(benchmark, write_result):
+    data = benchmark(fig9_sim_validation)
+    write_result("fig9_sim_validation", _table(data["deltas"]))
+
+    for name, per_job in data["deltas"].items():
+        assert len(per_job) == 6  # all Table 1 jobs finished in both
+        assert max(per_job.values()) < 1e-6

@@ -1,0 +1,29 @@
+"""The Section 4.2 artificial-load profiling campaign, as an artifact.
+
+Measures the interference table empirically (probe x load ladder, all
+through the simulator) and checks it against the Figure 6 calibration
+-- an independent validation loop: if someone retunes the analytic
+model, this campaign must still measure what Figure 6 measured.
+"""
+
+import pytest
+
+from repro.perf.microbench import measure_interference_table, table_to_text
+from repro.topology.builders import power8_minsky
+
+
+def run_campaign():
+    return measure_interference_table(power8_minsky, iterations=150)
+
+
+def test_microbench_campaign(benchmark, write_result):
+    table = benchmark.pedantic(run_campaign, rounds=1, iterations=1)
+    write_result("microbench_campaign", table_to_text(table))
+
+    # Figure 6 anchors, measured rather than calibrated
+    assert table[("tiny", "heavy")] == pytest.approx(0.30, abs=0.06)
+    assert table[("big", "heavy")] < 0.08
+    # monotone in load intensity for every probe
+    for probe in ("tiny", "small", "medium", "big"):
+        row = [table[(probe, l)] for l in ("idle", "light", "medium", "heavy")]
+        assert row == sorted(row)

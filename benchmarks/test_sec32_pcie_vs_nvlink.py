@@ -1,0 +1,31 @@
+"""Section 3.2: NVLink vs PCIe machine comparison.
+
+Paper: AlexNet pack speedup 1.27x (NVLink) vs 1.24x (PCIe) at batch 1,
+1.30x vs 1.21x at batch 2, 1.20x vs ~1.1x at batch 8 -- topology
+matters on both, more on NVLink.
+"""
+
+import pytest
+
+from repro.analysis.figures import sec32_pcie_vs_nvlink
+
+
+def _table(data) -> str:
+    lines = ["batch   nvlink   pcie"]
+    for b, nv, pc in zip(data["batch_sizes"], data["nvlink"], data["pcie"]):
+        lines.append(f"{b:>5}   {nv:>6.3f}   {pc:>5.3f}")
+    return "\n".join(lines)
+
+
+def test_sec32_pcie_vs_nvlink(benchmark, write_result):
+    data = benchmark(sec32_pcie_vs_nvlink)
+    write_result("sec32_pcie_vs_nvlink", _table(data))
+
+    nv = dict(zip(data["batch_sizes"], data["nvlink"]))
+    pc = dict(zip(data["batch_sizes"], data["pcie"]))
+    assert nv[1] == pytest.approx(1.27, abs=0.05)
+    assert pc[1] == pytest.approx(1.24, abs=0.05)
+    assert pc[2] == pytest.approx(1.21, abs=0.05)
+    assert pc[8] == pytest.approx(1.10, abs=0.05)
+    for b in data["batch_sizes"]:
+        assert nv[b] > pc[b]  # NVLink machines need placement even more

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Regenerate every table/figure of the paper's evaluation in one go.
+
+Prints the same series the paper plots (see EXPERIMENTS.md for the
+paper-vs-measured comparison).  Scenario 2 runs at 1/10 scale unless
+``REPRO_FULL_SCALE=1`` is set.
+
+Run:  python examples/paper_figures.py
+"""
+
+from repro.analysis.figures import (
+    fig3_breakdown,
+    fig4_pack_vs_spread,
+    fig5_nvlink_bandwidth,
+    fig6_collocation,
+    fig8_prototype,
+    fig10_scenario1,
+    fig11_scenario2,
+    sec32_pcie_vs_nvlink,
+    sec553_overhead,
+)
+from repro.analysis.tables import (
+    format_breakdown_table,
+    format_collocation_table,
+    format_speedup_table,
+    format_timeline,
+)
+from repro.sim.metrics import comparison_table
+
+
+def section(title: str) -> None:
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+
+
+def main() -> None:
+    section("Figure 3: compute vs communication breakdown")
+    print(format_breakdown_table(fig3_breakdown()))
+
+    section("Figure 4: pack vs spread speedup")
+    print(format_speedup_table(fig4_pack_vs_spread()))
+
+    section("Figure 5: NVLink bandwidth (mean GB/s while active)")
+    for batch, (times, gbs) in sorted(fig5_nvlink_bandwidth().items()):
+        active = gbs[gbs > 0]
+        mean = active.mean() if len(active) else 0.0
+        print(f"  batch {batch:>3}: {mean:6.2f} GB/s")
+
+    section("Figure 6: co-location slowdowns (2x AlexNet)")
+    print(format_collocation_table(fig6_collocation()))
+
+    section("Section 3.2: NVLink vs PCIe speedups")
+    data = sec32_pcie_vs_nvlink()
+    print(format_speedup_table(
+        {"batch_sizes": data["batch_sizes"], "nvlink": data["nvlink"], "pcie": data["pcie"]}
+    ))
+
+    section("Figure 8: prototype scenario (Table 1 jobs)")
+    results = fig8_prototype()
+    print(comparison_table(list(results.values())))
+    print()
+    print(format_timeline(results["TOPO-AWARE-P"]))
+
+    section("Figure 10: scenario 1 (100 jobs, 5 machines)")
+    s1 = fig10_scenario1()
+    print(comparison_table(list(s1["results"].values())))
+
+    section("Figure 11: scenario 2 (large cluster)")
+    s2 = fig11_scenario2()
+    print(f"scale: {s2['n_jobs']} jobs on {s2['n_machines']} machines")
+    print(comparison_table(list(s2["results"].values())))
+
+    section("Section 5.5.3: scheduler decision overhead")
+    for name, secs in sec553_overhead(s2).items():
+        print(f"  {name:<14} {secs * 1e3:8.3f} ms/round")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Experiment regeneration: one function per paper table/figure.
+
+Each ``figN_*`` function returns plain data structures (dicts/arrays)
+with the same series the paper plots; the benchmark harness prints and
+shape-checks them, and EXPERIMENTS.md records paper-vs-measured.
+"""
+
+from repro.analysis.scenarios import table1_jobs, scenario1_jobs, scenario2_jobs
+from repro.analysis.figures import (
+    fig3_breakdown,
+    fig4_pack_vs_spread,
+    fig5_nvlink_bandwidth,
+    fig6_collocation,
+    fig8_prototype,
+    fig9_sim_validation,
+    fig10_scenario1,
+    fig11_scenario2,
+    sec32_pcie_vs_nvlink,
+    sec553_overhead,
+)
+from repro.analysis.tables import (
+    format_breakdown_table,
+    format_collocation_table,
+    format_scenario_table,
+    format_speedup_table,
+)
+
+__all__ = [
+    "fig10_scenario1",
+    "fig11_scenario2",
+    "fig3_breakdown",
+    "fig4_pack_vs_spread",
+    "fig5_nvlink_bandwidth",
+    "fig6_collocation",
+    "fig8_prototype",
+    "fig9_sim_validation",
+    "format_breakdown_table",
+    "format_collocation_table",
+    "format_scenario_table",
+    "format_speedup_table",
+    "scenario1_jobs",
+    "scenario2_jobs",
+    "sec32_pcie_vs_nvlink",
+    "sec553_overhead",
+    "table1_jobs",
+]

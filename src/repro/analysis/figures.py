@@ -1,0 +1,263 @@
+"""Data generators for every figure of the paper's evaluation.
+
+All functions are deterministic given their seeds and return plain
+data; see DESIGN.md's experiment index for the figure-by-figure map.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.scenarios import scenario1_jobs, scenario2_jobs, table1_jobs
+from repro.perf.bandwidth import nvlink_bandwidth_series
+from repro.perf.calibration import DEFAULT_CALIBRATION, MachineKind
+from repro.perf.interference import InterferenceModel
+from repro.perf.model import PerformanceModel, Placement
+from repro.sim.engine import SimulationResult, Simulator, run_comparison
+from repro.sim.metrics import sorted_slowdowns
+from repro.schedulers import make_scheduler
+from repro.topology.allocation import AllocationState
+from repro.topology.builders import cluster, power8_minsky, power8_pcie_k80
+from repro.workload.job import BatchClass, Job, ModelType
+
+SCHEDULERS = ("BF", "FCFS", "TOPO-AWARE", "TOPO-AWARE-P")
+
+
+def _solo_job(model: ModelType, batch: int, n_gpus: int = 2) -> Job:
+    return Job(f"solo-{model}-{batch}", model, batch, n_gpus)
+
+
+# ---------------------------------------------------------------------------
+# Figure 3: execution-time breakdown
+# ---------------------------------------------------------------------------
+
+def fig3_breakdown(iterations: int = 40) -> dict:
+    """% of GPU compute vs communication per (model, batch class, strategy).
+
+    Mirrors Figure 3's 40-iteration profiling runs; also returns the
+    absolute seconds so the AlexNet anchors (~1 s compute at tiny,
+    ~66 s at big, ~2 s comm throughout) can be checked.
+    """
+    topo = power8_minsky()
+    perf = PerformanceModel(topo)
+    out: dict = {}
+    for model in ModelType:
+        for batch_class in BatchClass:
+            job = _solo_job(model, batch_class.representative_batch)
+            for placement in Placement:
+                gpus = perf.placement_gpus(job, placement)
+                bd = perf.iteration_breakdown(job, gpus)
+                out[(model.value, batch_class.name.lower(), placement.value)] = {
+                    "compute_s": bd.compute_s * iterations,
+                    "comm_s": bd.comm_s * iterations,
+                    "comm_fraction": bd.comm_fraction,
+                    "p2p": bd.p2p,
+                }
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 4: pack vs spread speedup
+# ---------------------------------------------------------------------------
+
+def fig4_pack_vs_spread(
+    batch_sizes: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128),
+    machine_factory=power8_minsky,
+) -> dict[str, list[float]]:
+    """Pack/spread speedup per model across batch sizes (Figure 4)."""
+    topo = machine_factory()
+    perf = PerformanceModel(topo)
+    out: dict[str, list[float]] = {"batch_sizes": list(batch_sizes)}
+    for model in ModelType:
+        speedups = []
+        for b in batch_sizes:
+            job = _solo_job(model, b)
+            pack = perf.iteration_time(job, perf.placement_gpus(job, Placement.PACK))
+            spread = perf.iteration_time(
+                job, perf.placement_gpus(job, Placement.SPREAD)
+            )
+            speedups.append(spread / pack)
+        out[model.value] = speedups
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: NVLink bandwidth over time
+# ---------------------------------------------------------------------------
+
+def fig5_nvlink_bandwidth(
+    batch_sizes: Sequence[int] = (1, 4, 64, 128),
+    duration_s: float = 250.0,
+) -> dict[int, tuple[np.ndarray, np.ndarray]]:
+    """AlexNet NVLink bandwidth time series per batch size (Figure 5)."""
+    topo = power8_minsky()
+    perf = PerformanceModel(topo)
+    out = {}
+    for b in batch_sizes:
+        job = Job(f"alexnet-b{b}", ModelType.ALEXNET, b, 2, iterations=4000)
+        gpus = perf.placement_gpus(job, Placement.PACK)
+        out[b] = nvlink_bandwidth_series(job, perf, gpus, duration_s=duration_s)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: co-location slowdown
+# ---------------------------------------------------------------------------
+
+def fig6_collocation() -> dict[tuple[str, str], float]:
+    """Slowdown of co-locating two 2-GPU AlexNet jobs (Figure 6).
+
+    Reproduces the paper's measurement setup: both jobs share the
+    Minsky machine in the interleaved (spread) configuration, which is
+    the reference sharing level of the calibration.  Reported value is
+    the worse of the two jobs' slowdowns, per batch-class pair.
+    """
+    topo = power8_minsky()
+    intf = InterferenceModel(topo)
+    out: dict[tuple[str, str], float] = {}
+    gpus = topo.gpus()
+    place_a = (gpus[0], gpus[2])  # interleaved across sockets
+    place_b = (gpus[1], gpus[3])
+    for first in BatchClass:
+        for second in BatchClass:
+            alloc = AllocationState(topo)
+            job_a = Job("a", ModelType.ALEXNET, first.representative_batch, 2)
+            job_b = Job("b", ModelType.ALEXNET, second.representative_batch, 2)
+            alloc.allocate("a", place_a)
+            alloc.allocate("b", place_b)
+            slow_a, slow_b = intf.collocation_pair_slowdown(
+                job_a, place_a, job_b, place_b, alloc
+            )
+            out[(first.name.lower(), second.name.lower())] = max(slow_a, slow_b)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Section 3.2: NVLink vs PCIe machines
+# ---------------------------------------------------------------------------
+
+def sec32_pcie_vs_nvlink(
+    batch_sizes: Sequence[int] = (1, 2, 8)
+) -> dict[str, list[float]]:
+    """AlexNet pack speedups on the NVLink vs the PCIe/K80 machine."""
+    nvlink = fig4_pack_vs_spread(batch_sizes, power8_minsky)
+    pcie = fig4_pack_vs_spread(batch_sizes, power8_pcie_k80)
+    return {
+        "batch_sizes": list(batch_sizes),
+        "nvlink": nvlink[ModelType.ALEXNET.value],
+        "pcie": pcie[ModelType.ALEXNET.value],
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figures 8/9: prototype scenario and simulation validation
+# ---------------------------------------------------------------------------
+
+def fig8_prototype(jobs: Sequence[Job] | None = None) -> dict[str, SimulationResult]:
+    """Run the Table 1 scenario under all four schedulers (Figure 8)."""
+    jobs = list(jobs) if jobs is not None else table1_jobs()
+    return run_comparison(power8_minsky, jobs, SCHEDULERS)
+
+
+def fig9_sim_validation(jobs: Sequence[Job] | None = None) -> dict:
+    """Prototype-vs-simulation agreement on the Table 1 scenario (Figure 9).
+
+    The prototype path (manifest + INI configs + enforcement layer) and
+    the direct simulator path must produce identical schedules; the
+    validation reports per-job completion-time deltas.
+    """
+    import tempfile
+
+    from repro.prototype.config import write_sample_configs
+    from repro.prototype.system import PrototypeSystem
+
+    jobs = list(jobs) if jobs is not None else table1_jobs()
+    direct = run_comparison(power8_minsky, jobs, SCHEDULERS)
+    with tempfile.TemporaryDirectory() as tmp:
+        write_sample_configs(tmp)
+        system = PrototypeSystem.from_config_dir(tmp, jobs=jobs)
+        proto_runs = {run.result.scheduler_name: run for run in system.run()}
+    deltas: dict[str, dict[str, float]] = {}
+    for name, direct_result in direct.items():
+        proto_result = proto_runs[name].result
+        per_job = {}
+        for rec in direct_result.records:
+            other = proto_result.record_of(rec.job.job_id)
+            if rec.finished_at is not None and other.finished_at is not None:
+                per_job[rec.job.job_id] = abs(rec.finished_at - other.finished_at)
+        deltas[name] = per_job
+    return {"direct": direct, "prototype": proto_runs, "deltas": deltas}
+
+
+# ---------------------------------------------------------------------------
+# Figures 10/11: large-scale scenarios
+# ---------------------------------------------------------------------------
+
+def fig10_scenario1(
+    n_jobs: int = 100, n_machines: int = 5, seed: int = 42
+) -> dict:
+    """Scenario 1: 100 jobs on 5 machines (Figure 10)."""
+    jobs = scenario1_jobs(n_jobs, seed)
+    results = run_comparison(lambda: cluster(n_machines), jobs, SCHEDULERS)
+    return {
+        "results": results,
+        "qos": {n: sorted_slowdowns(r.records) for n, r in results.items()},
+        "total": {
+            n: sorted_slowdowns(r.records, include_waiting=True)
+            for n, r in results.items()
+        },
+    }
+
+
+def full_scale() -> bool:
+    """Whether benches should run the paper's full scenario-2 size."""
+    return os.environ.get("REPRO_FULL_SCALE", "") not in ("", "0", "false")
+
+
+def fig11_scenario2(
+    n_jobs: int | None = None, n_machines: int | None = None, seed: int = 7
+) -> dict:
+    """Scenario 2: 10k jobs on 1k machines (Figure 11).
+
+    Defaults to a 1/10-scale run (1000 jobs, 100 machines) so the
+    benchmark suite stays fast; set ``REPRO_FULL_SCALE=1`` for the
+    paper's full size.
+    """
+    if n_jobs is None or n_machines is None:
+        if full_scale():
+            n_jobs, n_machines = 10_000, 1000
+        else:
+            n_jobs, n_machines = 1000, 100
+    jobs = scenario2_jobs(n_jobs, n_machines, seed)
+    results = run_comparison(lambda: cluster(n_machines), jobs, SCHEDULERS)
+    return {
+        "n_jobs": n_jobs,
+        "n_machines": n_machines,
+        "results": results,
+        "qos": {n: sorted_slowdowns(r.records) for n, r in results.items()},
+        "total": {
+            n: sorted_slowdowns(r.records, include_waiting=True)
+            for n, r in results.items()
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# Section 5.5.3: scheduler overhead
+# ---------------------------------------------------------------------------
+
+def sec553_overhead(scenario: dict | None = None) -> dict[str, float]:
+    """Mean decision time per scheduling round, per policy.
+
+    The paper reports ~3 s for the topology-aware policies vs ~0.45 s
+    for the greedy ones on scenario 2; absolute times differ here but
+    the topology-aware policies must cost several times more.
+    """
+    scenario = scenario or fig11_scenario2()
+    return {
+        name: result.mean_decision_time_s
+        for name, result in scenario["results"].items()
+    }

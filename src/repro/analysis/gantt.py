@@ -1,0 +1,99 @@
+"""Textual Gantt charts and utility timelines (Figure 8/9 panels).
+
+The paper's Figure 8(a)-(d) shows, per scheduler, which job occupied
+which GPU over time plus a bus-bandwidth strip; Figure 9 replaces the
+strip with the mean utility of running jobs.  :func:`gantt_chart`
+renders the occupancy panel as monospace text; :func:`utility_timeline`
+computes the Figure 9 series from simulation records.
+"""
+
+from __future__ import annotations
+
+import string
+from typing import Sequence
+
+import numpy as np
+
+from repro.sim.engine import JobRecord, SimulationResult
+
+_SYMBOLS = string.digits + string.ascii_uppercase + string.ascii_lowercase
+
+
+def gantt_chart(
+    result: SimulationResult,
+    width: int = 64,
+    gpus: Sequence[str] | None = None,
+) -> str:
+    """Render per-GPU occupancy over time as a text chart.
+
+    Each row is a GPU, each column a time bucket; cells carry the
+    job's symbol (job0 -> '0', job10 -> 'A', ...), '.' when idle.
+    """
+    if width < 10:
+        raise ValueError("width must be >= 10")
+    records = [r for r in result.records if r.placed_at is not None]
+    if not records:
+        return f"[{result.scheduler_name}] (nothing was placed)"
+    horizon = max(
+        r.finished_at if r.finished_at is not None else r.placed_at
+        for r in records
+    )
+    if horizon <= 0:
+        horizon = 1.0
+    if gpus is None:
+        gpus = sorted({g for r in records for g in r.gpus})
+    symbol = {
+        rec.job.job_id: _SYMBOLS[i % len(_SYMBOLS)]
+        for i, rec in enumerate(result.records)
+    }
+    dt = horizon / width
+    grid = {g: ["."] * width for g in gpus}
+    for rec in records:
+        end = rec.finished_at if rec.finished_at is not None else horizon
+        first = int(rec.placed_at / dt)
+        last = max(first, min(width - 1, int(end / dt) - (1 if end % dt == 0 else 0)))
+        for g in rec.gpus:
+            if g not in grid:
+                continue
+            for col in range(first, last + 1):
+                grid[g][col] = symbol[rec.job.job_id]
+    label_width = max(len(g) for g in gpus)
+    lines = [f"[{result.scheduler_name}]  0s {'-' * (width - 12)} {horizon:.0f}s"]
+    for g in gpus:
+        lines.append(f"{g:<{label_width}} |{''.join(grid[g])}|")
+    legend = "  ".join(
+        f"{symbol[rec.job.job_id]}={rec.job.job_id}" for rec in result.records
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def utility_timeline(
+    records: Sequence[JobRecord],
+    n_samples: int = 100,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Mean utility of the jobs running at each sampled time (Fig. 9).
+
+    Times with no running job yield NaN so plots show gaps, like the
+    paper's panels between job waves.
+    """
+    if n_samples < 2:
+        raise ValueError("n_samples must be >= 2")
+    placed = [r for r in records if r.placed_at is not None and r.utility is not None]
+    if not placed:
+        return np.array([0.0]), np.array([np.nan])
+    horizon = max(
+        r.finished_at if r.finished_at is not None else r.placed_at for r in placed
+    )
+    times = np.linspace(0.0, horizon, n_samples)
+    means = np.full(n_samples, np.nan)
+    for i, t in enumerate(times):
+        running = [
+            r.utility
+            for r in placed
+            if r.placed_at <= t
+            and (r.finished_at is None or t < r.finished_at)
+        ]
+        if running:
+            means[i] = float(np.mean(running))
+    return times, means

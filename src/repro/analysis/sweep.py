@@ -1,0 +1,96 @@
+"""Parameter sweeps over the simulator.
+
+:func:`sweep` runs the scheduler comparison across a range of one
+experimental knob (arrival rate, cluster size, utility weights, ...)
+and collects per-policy series -- the machinery behind "where does
+topology-awareness pay off" questions that the paper answers only at
+two operating points (scenarios 1 and 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.sim.engine import SimulationResult, run_comparison
+from repro.sim.metrics import (
+    mean_waiting_time,
+    qos_slowdown,
+    slo_violations,
+)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Results of all policies at one knob value."""
+
+    value: float
+    results: Mapping[str, SimulationResult]
+
+    def metric(self, name: str, fn: Callable[[SimulationResult], float]) -> float:
+        return fn(self.results[name])
+
+
+def mean_qos_metric(result: SimulationResult) -> float:
+    recs = [r for r in result.records if r.finished_at is not None]
+    if not recs:
+        return float("nan")
+    return float(np.mean([qos_slowdown(r) for r in recs]))
+
+
+def mean_wait_metric(result: SimulationResult) -> float:
+    return mean_waiting_time(
+        [r for r in result.records if r.finished_at is not None]
+    )
+
+
+def violations_metric(result: SimulationResult) -> float:
+    return float(len(slo_violations(result.records)))
+
+
+def sweep(
+    values: Sequence[float],
+    scenario: Callable[[float], tuple[Callable, Sequence]],
+    schedulers: Sequence[str] = ("BF", "FCFS", "TOPO-AWARE", "TOPO-AWARE-P"),
+) -> list[SweepPoint]:
+    """Run the comparison at every knob value.
+
+    ``scenario(value)`` returns ``(topo_factory, jobs)`` for that value.
+    """
+    points = []
+    for value in values:
+        topo_factory, jobs = scenario(value)
+        results = run_comparison(topo_factory, list(jobs), schedulers)
+        points.append(SweepPoint(value=float(value), results=results))
+    return points
+
+
+def series(
+    points: Sequence[SweepPoint],
+    metric: Callable[[SimulationResult], float],
+) -> dict[str, list[float]]:
+    """Per-policy metric series across the sweep."""
+    if not points:
+        return {}
+    names = list(points[0].results)
+    return {
+        name: [metric(p.results[name]) for p in points] for name in names
+    }
+
+
+def format_sweep(
+    points: Sequence[SweepPoint],
+    metric: Callable[[SimulationResult], float],
+    knob_name: str = "value",
+) -> str:
+    """Text table: one row per knob value, one column per policy."""
+    data = series(points, metric)
+    names = list(data)
+    header = f"{knob_name:>10}" + "".join(f"{n:>15}" for n in names)
+    lines = [header]
+    for i, p in enumerate(points):
+        row = "".join(f"{data[n][i]:>15.4f}" for n in names)
+        lines.append(f"{p.value:>10.2f}{row}")
+    return "\n".join(lines)

@@ -1,0 +1,235 @@
+"""Command-line interface (the paper artifact's ``python main.py``).
+
+Subcommands::
+
+    repro run --config-dir DIR [--manifest FILE]   # prototype workflow
+    repro simulate --jobs N --machines M --scheduler NAME [...]
+    repro compare --jobs N --machines M [...]      # all four policies
+    repro topo --machine NAME [--matrix | --numactl]
+    repro figures [--out DIR]                      # regenerate evaluation
+
+Everything is also available as a library; the CLI is a thin veneer
+over :mod:`repro.prototype`, :mod:`repro.sim` and :mod:`repro.analysis`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+MACHINE_CHOICES = (
+    "power8-minsky",
+    "dgx1",
+    "dgx2",
+    "power8-pcie-k80",
+    "power9-ac922",
+)
+SCHEDULER_CHOICES = (
+    "FCFS",
+    "BF",
+    "SJF",
+    "EASY-BACKFILL",
+    "TOPO-AWARE",
+    "TOPO-AWARE-P",
+    "RANDOM",
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Topology-aware GPU scheduling (SC'17 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run the prototype from a config directory")
+    run.add_argument("--config-dir", required=True, type=Path)
+    run.add_argument("--manifest", type=Path, default=None)
+
+    for name in ("simulate", "compare"):
+        p = sub.add_parser(
+            name,
+            help=(
+                "simulate one scheduler" if name == "simulate"
+                else "compare all four schedulers"
+            ),
+        )
+        p.add_argument("--jobs", type=int, default=100)
+        p.add_argument("--machines", type=int, default=5)
+        p.add_argument("--machine", choices=MACHINE_CHOICES, default="power8-minsky")
+        p.add_argument("--seed", type=int, default=42)
+        p.add_argument("--arrival-rate", type=float, default=2.2,
+                       help="jobs per minute (Poisson lambda)")
+        if name == "simulate":
+            p.add_argument("--scheduler", choices=SCHEDULER_CHOICES,
+                           default="TOPO-AWARE-P")
+
+    topo = sub.add_parser("topo", help="print a machine topology")
+    topo.add_argument("--machine", choices=MACHINE_CHOICES, default="power8-minsky")
+    group = topo.add_mutually_exclusive_group()
+    group.add_argument("--matrix", action="store_true",
+                       help="nvidia-smi topo --matrix format")
+    group.add_argument("--numactl", action="store_true",
+                       help="numactl --hardware format")
+
+    figures = sub.add_parser("figures", help="regenerate the paper's evaluation")
+    figures.add_argument("--out", type=Path, default=None,
+                         help="directory for result text files")
+    figures.add_argument("--svg", type=Path, default=None,
+                         help="also render figures 4/5/6 as SVG here")
+
+    report = sub.add_parser(
+        "report", help="generate the markdown reproduction report"
+    )
+    report.add_argument("--out", type=Path, default=None,
+                        help="write to a file instead of stdout")
+    return parser
+
+
+def _builder_for(machine: str):
+    from repro.topology import builders
+
+    return {
+        "power8-minsky": builders.power8_minsky,
+        "dgx1": builders.dgx1,
+        "dgx2": builders.dgx2,
+        "power8-pcie-k80": builders.power8_pcie_k80,
+        "power9-ac922": builders.power9_ac922,
+    }[machine]
+
+
+def _generate(args) -> list:
+    from repro.workload.generator import GeneratorConfig, WorkloadGenerator
+
+    cfg = GeneratorConfig(arrival_rate_per_min=args.arrival_rate)
+    return WorkloadGenerator(cfg, seed=args.seed).generate(args.jobs)
+
+
+def _topology_factory(args):
+    from repro.topology.builders import cluster
+
+    base = _builder_for(args.machine)
+    if args.machines == 1:
+        return base
+    return lambda: cluster(args.machines, base)
+
+
+def _cmd_run(args) -> int:
+    from repro.analysis.tables import format_timeline
+    from repro.prototype.system import PrototypeSystem
+    from repro.sim.metrics import comparison_table
+    from repro.workload.manifest import load_manifest
+
+    jobs = load_manifest(args.manifest) if args.manifest else None
+    system = PrototypeSystem.from_config_dir(args.config_dir, jobs=jobs)
+    runs = system.run()
+    print(comparison_table([r.result for r in runs]))
+    print()
+    for run in runs:
+        print(format_timeline(run.result))
+        print()
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.schedulers import make_scheduler
+    from repro.sim.engine import Simulator
+    from repro.sim.metrics import summarize
+
+    topo = _topology_factory(args)()
+    result = Simulator(topo, make_scheduler(args.scheduler), _generate(args)).run()
+    for key, value in summarize(result).items():
+        print(f"{key:>22}: {value}")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.sim.engine import run_comparison
+    from repro.sim.metrics import comparison_table
+
+    results = run_comparison(_topology_factory(args), _generate(args))
+    print(comparison_table(list(results.values())))
+    return 0
+
+
+def _cmd_topo(args) -> int:
+    from repro.topology.discovery import render_numactl_hardware, render_topo_matrix
+    from repro.topology.render import render_gpu_distances, render_tree
+
+    topo = _builder_for(args.machine)()
+    if args.numactl:
+        print(render_numactl_hardware(topo), end="")
+    elif args.matrix:
+        print(render_topo_matrix(topo), end="")
+    else:
+        print(render_tree(topo))
+        print(f"\np2p islands: {topo.p2p_island_sizes()}")
+        print("\nGPU distance matrix (Eq. 3 input):")
+        print(render_gpu_distances(topo))
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    from repro.analysis.figures import (
+        fig3_breakdown,
+        fig4_pack_vs_spread,
+        fig6_collocation,
+        fig8_prototype,
+        sec32_pcie_vs_nvlink,
+    )
+    from repro.analysis.tables import (
+        format_breakdown_table,
+        format_collocation_table,
+        format_speedup_table,
+    )
+    from repro.sim.metrics import comparison_table
+
+    sections = {
+        "fig3_breakdown": format_breakdown_table(fig3_breakdown()),
+        "fig4_pack_vs_spread": format_speedup_table(fig4_pack_vs_spread()),
+        "fig6_collocation": format_collocation_table(fig6_collocation()),
+        "sec32_pcie_vs_nvlink": str(sec32_pcie_vs_nvlink()),
+        "fig8_prototype": comparison_table(list(fig8_prototype().values())),
+    }
+    for name, text in sections.items():
+        print(f"=== {name} ===")
+        print(text)
+        print()
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            (args.out / f"{name}.txt").write_text(text + "\n")
+    if args.svg is not None:
+        from repro.plot.figures import render_all_figures
+
+        for path in render_all_figures(args.svg):
+            print(f"rendered {path}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis.report import generate_report, write_report
+
+    if args.out is not None:
+        path = write_report(args.out)
+        print(f"report written to {path}")
+    else:
+        print(generate_report())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "simulate": _cmd_simulate,
+        "compare": _cmd_compare,
+        "topo": _cmd_topo,
+        "figures": _cmd_figures,
+        "report": _cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

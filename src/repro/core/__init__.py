@@ -1,0 +1,48 @@
+"""The paper's core contribution: utility-driven graph-mapping placement.
+
+* :mod:`repro.core.fm` -- Fiduccia-Mattheyses min-cut bipartitioning,
+  used to split the physical GPU graph (Algorithm 2's
+  ``physicalGraphBiPartition``).
+* :mod:`repro.core.bipartition` -- hierarchy-guided physical splits
+  refined by FM.
+* :mod:`repro.core.utility` -- Eqs. 1-5: communication cost,
+  interference, fragmentation and the utility function.
+* :mod:`repro.core.job_bipartition` -- Algorithm 3: utility-based job
+  graph bipartitioning.
+* :mod:`repro.core.drb` -- Algorithm 2: Dual Recursive Bipartitioning.
+* :mod:`repro.core.constraints` -- host filtering (Algorithm 1's
+  ``filterHostsByConstraints``).
+* :mod:`repro.core.placement` -- the end-to-end psi(A, P) placement
+  engine producing scored :class:`PlacementSolution` objects.
+"""
+
+from repro.core.fm import fm_bipartition, FMResult
+from repro.core.bipartition import physical_bipartition
+from repro.core.utility import (
+    UtilityParams,
+    SolutionMetrics,
+    communication_cost,
+    normalized_utility,
+    raw_utility,
+)
+from repro.core.job_bipartition import job_graph_bipartition
+from repro.core.drb import drb_map
+from repro.core.constraints import filter_hosts, CandidatePool
+from repro.core.placement import PlacementEngine, PlacementSolution
+
+__all__ = [
+    "CandidatePool",
+    "FMResult",
+    "PlacementEngine",
+    "PlacementSolution",
+    "SolutionMetrics",
+    "UtilityParams",
+    "communication_cost",
+    "drb_map",
+    "filter_hosts",
+    "fm_bipartition",
+    "job_graph_bipartition",
+    "normalized_utility",
+    "physical_bipartition",
+    "raw_utility",
+]

@@ -1,0 +1,97 @@
+"""Physical-graph bipartitioning (Algorithm 2's ``physicalGraphBiPartition``).
+
+Splitting a set of candidate GPUs into two topologically coherent
+halves proceeds in two steps:
+
+1. **Hierarchy-guided split**: find the highest hierarchy level at
+   which the GPU set spans more than one component (machine, then
+   socket, then switch) and distribute whole components greedily over
+   the two sides (largest first, onto the emptier side).  Components
+   are atomic: a structural boundary is always the right cut for
+   region mapping, whereas a pure min-cut would prefer peeling single
+   GPUs off (optimal cut weight, useless recursion shape).
+2. **FM fallback**: when the set lies entirely inside one lowest-level
+   component (an NVLink clique or a flat mesh region), run
+   Fiduccia-Mattheyses on the inverse-distance affinity graph to cut
+   along the weakest connections.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.fm import FMResult, fm_bipartition
+from repro.topology.graph import NodeKind, TopologyGraph
+
+
+def _grouping(topo: TopologyGraph, gpus: Sequence[str]) -> list[list[str]] | None:
+    """Group GPUs by the highest hierarchy level that separates them."""
+    for keyer in (topo.machine_of, topo.socket_of, _switch_of_factory(topo)):
+        groups: dict[str, list[str]] = {}
+        for g in gpus:
+            groups.setdefault(keyer(g), []).append(g)
+        if len(groups) > 1:
+            return [groups[k] for k in sorted(groups)]
+    return None
+
+
+def _switch_of_factory(topo: TopologyGraph):
+    def switch_of(gpu: str) -> str:
+        for nbr in topo.neighbors(gpu):
+            if topo.node(nbr).kind is NodeKind.SWITCH:
+                return nbr
+        return topo.socket_of(gpu)  # no switch level on this machine
+
+    return switch_of
+
+
+def _seed_from_groups(groups: list[list[str]]) -> tuple[list[str], list[str]]:
+    """Distribute whole groups over two sides, largest first."""
+    sides: tuple[list[str], list[str]] = ([], [])
+    for group in sorted(groups, key=lambda g: (-len(g), g)):
+        target = 0 if len(sides[0]) <= len(sides[1]) else 1
+        sides[target].extend(group)
+    return sides
+
+
+def gpu_affinity(
+    topo: TopologyGraph, gpus: Sequence[str]
+) -> dict[str, dict[str, float]]:
+    """Inverse-distance affinity between candidate GPUs."""
+    aff: dict[str, dict[str, float]] = {g: {} for g in gpus}
+    ordered = list(gpus)
+    for i, u in enumerate(ordered):
+        for v in ordered[i + 1 :]:
+            w = 1.0 / topo.distance(u, v)
+            aff[u][v] = w
+            aff[v][u] = w
+    return aff
+
+
+def physical_bipartition(
+    topo: TopologyGraph, gpus: Sequence[str]
+) -> tuple[tuple[str, ...], tuple[str, ...]]:
+    """Split candidate GPUs into two coherent halves (P0, P1).
+
+    P0/P1 ordering is deterministic.  Requires at least two GPUs.
+    """
+    gpus = sorted(gpus)
+    if len(gpus) < 2:
+        raise ValueError("need at least two GPUs to bipartition")
+    if len(gpus) == 2:
+        return (gpus[0],), (gpus[1],)
+
+    groups = _grouping(topo, gpus)
+    if groups is not None:
+        # The hierarchy boundary (machine/socket/switch) *is* the
+        # correct cut for placement: components are atomic regions and
+        # should never be split while a structural boundary exists.
+        # (Pure min-cut would prefer peeling single GPUs off -- optimal
+        # for cut weight, useless for recursive region mapping.)
+        side0, side1 = _seed_from_groups(groups)
+        a, b = sorted((tuple(sorted(side0)), tuple(sorted(side1))))
+        return a, b
+    aff = gpu_affinity(topo, gpus)
+    result: FMResult = fm_bipartition(gpus, aff, validate=False)
+    side0, side1 = sorted((tuple(sorted(result.side0)), tuple(sorted(result.side1))))
+    return side0, side1

@@ -1,0 +1,141 @@
+"""Host filtering (Algorithm 1's ``filterHostsByConstraints``).
+
+Candidate pools are built per machine and must satisfy the paper's
+inequality constraints: enough free GPUs (``t_gpu <= p_gpu``) and
+enough residual bus bandwidth (``t_bw <= p_bw``).  Jobs are packed on a
+single node unless ``single_node=False``, in which case a spanning pool
+over the least-loaded machines is offered when no single machine fits.
+Anti-collocation jobs additionally need as many distinct free domains
+(sockets, or machines when spanning) as tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.topology.allocation import AllocationState
+from repro.topology.graph import TopologyGraph
+from repro.workload.job import Job
+from repro.workload.profiles import ProfileDatabase, default_database
+
+
+@dataclass(frozen=True)
+class CandidatePool:
+    """A set of free GPUs a job may be mapped onto."""
+
+    machines: tuple[str, ...]
+    gpus: tuple[str, ...]
+
+    @property
+    def spans_machines(self) -> bool:
+        return len(self.machines) > 1
+
+
+_CAPACITY_CACHE: dict[int, dict[str, float]] = {}
+
+
+def machine_bus_capacity(topo: TopologyGraph, machine: str) -> float:
+    """Aggregate GPU-uplink bandwidth of a machine (the ``p_bw`` bound).
+
+    Cached per topology instance -- it is consulted for every machine on
+    every scheduling round.
+    """
+    per_topo = _CAPACITY_CACHE.setdefault(id(topo), {})
+    cached = per_topo.get(machine)
+    if cached is not None:
+        return cached
+    total = 0.0
+    for g in topo.gpus(machine=machine):
+        best = 0.0
+        for nbr in topo.neighbors(g):
+            edge = topo.edge(g, nbr)
+            if topo.node(nbr).kind is not topo.node(g).kind:  # uplink, not peer
+                best = max(best, edge.spec.bandwidth_gbs)
+        total += best
+    per_topo[machine] = total
+    return total
+
+
+def _machine_demand(
+    alloc: AllocationState,
+    machine: str,
+    co_runners: Mapping[str, tuple[Job, frozenset[str]]],
+    profiles: ProfileDatabase,
+) -> float:
+    """Average bus demand of the jobs currently running on a machine."""
+    demand = 0.0
+    for job_id in alloc.jobs_on_machine(machine):
+        entry = co_runners.get(job_id)
+        if entry is not None:
+            demand += profiles.for_job(entry[0]).avg_demand_gbs
+    return demand
+
+
+def _free_domains(topo: TopologyGraph, free: list[str]) -> int:
+    return len({topo.socket_of(g) for g in free})
+
+
+def filter_hosts(
+    topo: TopologyGraph,
+    alloc: AllocationState,
+    job: Job,
+    co_runners: Mapping[str, tuple[Job, frozenset[str]]] | None = None,
+    profiles: ProfileDatabase | None = None,
+    *,
+    spanning_pool_factor: int = 4,
+) -> list[CandidatePool]:
+    """Candidate pools for ``job``, best-provisioned machines first.
+
+    Returns an empty list when the job cannot currently be placed
+    anywhere (the scheduler then re-queues it).
+    """
+    co_runners = co_runners or {}
+    profiles = profiles or default_database()
+    job_demand = profiles.for_job(job).avg_demand_gbs
+
+    eligible: list[tuple[int, str]] = []
+    for machine in topo.machines():
+        n_free = alloc.free_count(machine)  # O(1) quick reject
+        if n_free < job.num_gpus:
+            continue
+        capacity = machine_bus_capacity(topo, machine)
+        used = _machine_demand(alloc, machine, co_runners, profiles)
+        if used + job_demand > capacity:
+            continue
+        eligible.append((n_free, machine))
+
+    # tightest sufficient machines first (the omega_d consolidation
+    # preference: fill fragmented domains before opening fresh ones);
+    # utility comparison across pools still picks the best placement.
+    eligible.sort(key=lambda item: (item[0], item[1]))
+    pools = []
+    for _, machine in eligible:
+        free = alloc.free_gpus(machine=machine)
+        if job.anti_collocation and _free_domains(topo, free) < job.num_gpus:
+            continue
+        pools.append(CandidatePool(machines=(machine,), gpus=tuple(free)))
+    if pools or job.single_node:
+        return pools
+
+    # multi-node spanning pool: least-loaded machines until the pool is
+    # comfortably larger than the job (bounded to keep DRB cheap).
+    ranked = sorted(
+        ((alloc.free_count(m), m) for m in topo.machines()),
+        key=lambda item: (-item[0], item[1]),
+    )
+    gpus: list[str] = []
+    machines: list[str] = []
+    target = job.num_gpus * spanning_pool_factor
+    for count, machine in ranked:
+        if count == 0:
+            continue
+        machines.append(machine)
+        gpus.extend(alloc.free_gpus(machine=machine))
+        if len(gpus) >= target:
+            break
+    if len(gpus) < job.num_gpus:
+        return []
+    if job.anti_collocation and len(machines) < job.num_gpus:
+        return []
+    return [CandidatePool(machines=tuple(machines), gpus=tuple(gpus))]

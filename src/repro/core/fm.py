@@ -1,0 +1,223 @@
+"""Fiduccia-Mattheyses min-cut bipartitioning.
+
+The paper's DRB mapper splits the physical graph with "the well-known
+Fiduccia Mattheyses algorithm that minimizes the cut-sets in linear
+time" (Section 4.4).  This is a faithful implementation for weighted
+undirected graphs:
+
+* pass-based: every pass tentatively moves each vertex exactly once in
+  descending-gain order, then rolls back to the best prefix;
+* gain of a vertex = (cut weight removed) - (cut weight added) if it
+  switched sides;
+* side capacities are respected at every step, which also guarantees
+  both sides stay non-empty for suitable capacities;
+* deterministic: ties broken by vertex order of the input sequence.
+
+Affinity semantics: edge weights are *affinities* (higher = the
+endpoints want to stay together).  Minimising the cut therefore splits
+along the weakest connections -- for physical GPU graphs the affinity
+is the inverse topological distance, so FM cuts along sockets/machines.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Sequence
+
+Vertex = Hashable
+
+
+@dataclass(frozen=True)
+class FMResult:
+    """Outcome of a bipartition: the two sides and the final cut weight."""
+
+    side0: tuple[Vertex, ...]
+    side1: tuple[Vertex, ...]
+    cut: float
+    passes: int
+
+    def side_of(self, v: Vertex) -> int:
+        if v in self.side0:
+            return 0
+        if v in self.side1:
+            return 1
+        raise KeyError(v)
+
+
+def cut_weight(
+    affinity: Mapping[Vertex, Mapping[Vertex, float]],
+    side0: set[Vertex],
+    side1: set[Vertex],
+) -> float:
+    """Total affinity crossing the partition."""
+    total = 0.0
+    for u in side0:
+        for v, w in affinity.get(u, {}).items():
+            if v in side1:
+                total += w
+    return total
+
+
+def _validate(
+    vertices: Sequence[Vertex],
+    affinity: Mapping[Vertex, Mapping[Vertex, float]],
+) -> None:
+    vset = set(vertices)
+    if len(vset) != len(vertices):
+        raise ValueError("duplicate vertices")
+    for u, nbrs in affinity.items():
+        if u not in vset:
+            raise ValueError(f"affinity mentions unknown vertex {u!r}")
+        for v, w in nbrs.items():
+            if v not in vset:
+                raise ValueError(f"affinity mentions unknown vertex {v!r}")
+            if w < 0:
+                raise ValueError(f"negative affinity {u!r}--{v!r}")
+            back = affinity.get(v, {}).get(u)
+            if back is None or abs(back - w) > 1e-12:
+                raise ValueError(f"affinity not symmetric on {u!r}--{v!r}")
+
+
+def fm_bipartition(
+    vertices: Sequence[Vertex],
+    affinity: Mapping[Vertex, Mapping[Vertex, float]],
+    *,
+    initial: tuple[Sequence[Vertex], Sequence[Vertex]] | None = None,
+    capacities: tuple[int, int] | None = None,
+    max_passes: int = 10,
+    validate: bool = True,
+) -> FMResult:
+    """Bipartition ``vertices`` minimising the affinity cut.
+
+    ``affinity`` is a symmetric dict-of-dicts.  ``initial`` seeds the
+    partition (default: first half / second half of ``vertices``);
+    ``capacities`` bounds each side's size (default: balanced halves,
+    ``ceil(n/2)`` each).  Raises ``ValueError`` for infeasible inputs.
+    """
+    n = len(vertices)
+    if n < 2:
+        raise ValueError("need at least two vertices to bipartition")
+    if validate:
+        _validate(vertices, affinity)
+
+    if capacities is None:
+        # Leave room to move: a hard 50/50 split would freeze FM (both
+        # sides at capacity means no vertex can ever move).  Only the
+        # non-emptiness of each side is enforced by default; callers
+        # needing stricter balance pass explicit capacities.
+        cap0 = cap1 = n - 1
+    else:
+        cap0, cap1 = capacities
+    if cap0 < 1 or cap1 < 1 or cap0 + cap1 < n:
+        raise ValueError(f"infeasible capacities {capacities} for {n} vertices")
+
+    order = {v: i for i, v in enumerate(vertices)}
+    if initial is None:
+        half = (n + 1) // 2
+        side = {v: (0 if i < half else 1) for i, v in enumerate(vertices)}
+    else:
+        init0, init1 = initial
+        side = {}
+        for v in init0:
+            side[v] = 0
+        for v in init1:
+            if v in side:
+                raise ValueError(f"vertex {v!r} on both initial sides")
+            side[v] = 1
+        if set(side) != set(vertices):
+            raise ValueError("initial partition must cover exactly all vertices")
+    sizes = [sum(1 for s in side.values() if s == 0), 0]
+    sizes[1] = n - sizes[0]
+    if sizes[0] > cap0 or sizes[1] > cap1:
+        raise ValueError(
+            f"initial partition sizes {tuple(sizes)} exceed capacities {(cap0, cap1)}"
+        )
+
+    def gain(v: Vertex) -> float:
+        g = 0.0
+        sv = side[v]
+        for u, w in affinity.get(v, {}).items():
+            if u == v:
+                continue
+            g += w if side[u] != sv else -w
+        return g
+
+    caps = (cap0, cap1)
+    passes = 0
+    for _ in range(max_passes):
+        passes += 1
+        locked: set[Vertex] = set()
+        gains = {v: gain(v) for v in vertices}
+        # lazy max-heap keyed by (-gain, original order)
+        heap = [(-gains[v], order[v], v) for v in vertices]
+        heapq.heapify(heap)
+        moves: list[Vertex] = []
+        cum = 0.0
+        best_cum = 0.0
+        best_prefix = 0
+        while heap:
+            neg_g, _, v = heapq.heappop(heap)
+            if v in locked:
+                continue
+            if -neg_g != gains[v]:  # stale entry
+                heapq.heappush(heap, (-gains[v], order[v], v))
+                continue
+            target = 1 - side[v]
+            if sizes[target] + 1 > caps[target]:
+                # cannot move this vertex now; try the next-best one.
+                # Re-queue with a sentinel so we do not loop forever:
+                # skip it for the rest of this pass.
+                locked.add(v)
+                continue
+            # apply move
+            locked.add(v)
+            sizes[side[v]] -= 1
+            sizes[target] += 1
+            side[v] = target
+            cum += gains[v]
+            moves.append(v)
+            if cum > best_cum + 1e-12:
+                best_cum = cum
+                best_prefix = len(moves)
+            # update neighbour gains
+            for u, w in affinity.get(v, {}).items():
+                if u in locked or u == v:
+                    continue
+                # v just arrived on side[v]: edges to same-side
+                # neighbours become internal (their gain drops by 2w),
+                # edges to the other side become cut (gain rises by 2w).
+                gains[u] += -2 * w if side[u] == side[v] else 2 * w
+                heapq.heappush(heap, (-gains[u], order[u], u))
+        # roll back past the best prefix
+        for v in reversed(moves[best_prefix:]):
+            target = 1 - side[v]
+            sizes[side[v]] -= 1
+            sizes[target] += 1
+            side[v] = target
+        if best_cum <= 1e-12:
+            break
+
+    side0 = tuple(v for v in vertices if side[v] == 0)
+    side1 = tuple(v for v in vertices if side[v] == 1)
+    final_cut = cut_weight(affinity, set(side0), set(side1))
+    return FMResult(side0=side0, side1=side1, cut=final_cut, passes=passes)
+
+
+def affinity_from_distance(
+    vertices: Sequence[Vertex],
+    distance: Mapping[tuple[Vertex, Vertex], float],
+) -> dict[Vertex, dict[Vertex, float]]:
+    """Build an affinity dict as inverse distance over all pairs."""
+    aff: dict[Vertex, dict[Vertex, float]] = {v: {} for v in vertices}
+    for u, v in itertools.combinations(vertices, 2):
+        d = distance.get((u, v), distance.get((v, u)))
+        if d is None:
+            raise ValueError(f"missing distance for pair ({u!r}, {v!r})")
+        if d <= 0:
+            raise ValueError(f"non-positive distance for pair ({u!r}, {v!r})")
+        w = 1.0 / d
+        aff[u][v] = w
+        aff[v][u] = w
+    return aff

@@ -1,0 +1,253 @@
+"""The end-to-end placement function psi(A, P) (paper Section 4.4).
+
+:class:`PlacementEngine` glues the pieces together: filter hosts,
+normalise the job graph by the machine bandwidth, run DRB on every
+candidate pool, score each mapping with the utility function and
+return the best :class:`PlacementSolution`.  The scheduler policies
+(:mod:`repro.schedulers`) then decide whether to enforce or postpone
+the proposed solution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.constraints import CandidatePool, filter_hosts
+from repro.core.drb import drb_map
+from repro.core.utility import SolutionMetrics, UtilityParams, evaluate_solution
+from repro.perf.interference import InterferenceModel
+from repro.topology.allocation import AllocationState
+from repro.topology.graph import TopologyGraph
+from repro.workload.job import Job
+from repro.workload.jobgraph import JobGraph, job_graph_for
+from repro.workload.profiles import ProfileDatabase, default_database
+
+
+@dataclass(frozen=True)
+class PlacementSolution:
+    """A scored GPU allocation for one job."""
+
+    job_id: str
+    gpus: tuple[str, ...]
+    task_mapping: Mapping[int, str]
+    metrics: SolutionMetrics
+    pool: CandidatePool
+    p2p: bool  # every GPU pair of the allocation can exchange P2P
+
+    @property
+    def utility(self) -> float:
+        """Normalised utility in [0, 1] (checked against the job SLO)."""
+        return self.metrics.utility
+
+    def satisfies(self, job: Job) -> bool:
+        """SLO check used by TOPO-AWARE-P: utility above the job's
+        threshold, and P2P available when the job requires it."""
+        if self.utility < job.min_utility - 1e-12:
+            return False
+        if job.requires_p2p and not self.p2p:
+            return False
+        return True
+
+
+class PlacementEngine:
+    """Computes topology-aware placements over a live allocation state."""
+
+    def __init__(
+        self,
+        topo: TopologyGraph,
+        alloc: AllocationState,
+        params: UtilityParams = UtilityParams(),
+        profiles: ProfileDatabase | None = None,
+        interference_model: InterferenceModel | None = None,
+    ) -> None:
+        self.topo = topo
+        self.alloc = alloc
+        self.params = params
+        self.profiles = profiles or default_database()
+        self.interference = interference_model or InterferenceModel(topo)
+        self._reference_bw = self._max_pair_bandwidth()
+
+    def _max_pair_bandwidth(self) -> float:
+        """Best GPU-pair bandwidth on the first machine (normalisation base)."""
+        machine = self.topo.machines()[0]
+        gpus = self.topo.gpus(machine=machine)
+        best = 0.0
+        for i, a in enumerate(gpus):
+            for b in gpus[i + 1 :]:
+                best = max(best, self.topo.bottleneck_bandwidth(a, b))
+        return best or 1.0
+
+    # ------------------------------------------------------------------
+    def job_graph(self, job: Job) -> JobGraph:
+        """The job's communication graph (by declared pattern),
+        bandwidth-normalised as in Section 4.1.1."""
+        return job_graph_for(job).normalised(self._reference_bw / 10.0)
+
+    #: how many candidate pools get a full DRB evaluation per proposal;
+    #: pools are pre-sorted tightest-fit first, so a handful suffices
+    #: while keeping large-cluster scheduling tractable.
+    max_pools: int = 8
+
+    def propose(
+        self,
+        job: Job,
+        co_runners: Mapping[str, tuple[Job, frozenset[str]]] | None = None,
+    ) -> PlacementSolution | None:
+        """Best placement currently available, or ``None`` if none fits."""
+        co_runners = co_runners or {}
+        pools = filter_hosts(
+            self.topo, self.alloc, job, co_runners, self.profiles
+        )
+        if not pools:
+            return None
+        jobgraph = self.job_graph(job)
+        best: PlacementSolution | None = None
+        for pool in pools[: self.max_pools]:
+            solution = self._solve_pool(job, jobgraph, pool, co_runners)
+            if solution is None:
+                continue
+            if best is None or solution.utility > best.utility + 1e-12:
+                best = solution
+            if best.utility >= 1.0 - 1e-12:
+                break  # cannot improve on a perfect placement
+        return best
+
+    def _solve_pool(
+        self,
+        job: Job,
+        jobgraph: JobGraph,
+        pool: CandidatePool,
+        co_runners: Mapping[str, tuple[Job, frozenset[str]]],
+    ) -> PlacementSolution | None:
+        if job.anti_collocation:
+            mapping = self._anti_collocation_mapping(job, pool)
+            if mapping is None:
+                return None
+        else:
+            try:
+                mapping = drb_map(
+                    self.topo,
+                    self.alloc,
+                    job,
+                    jobgraph,
+                    pool.gpus,
+                    co_runners,
+                    self.params,
+                    self.interference,
+                )
+            except ValueError:
+                return None
+        gpus = tuple(sorted(mapping.values()))
+        p2p = all(
+            self.topo.p2p_connected(a, b)
+            for i, a in enumerate(gpus)
+            for b in gpus[i + 1 :]
+        )
+        metrics = evaluate_solution(
+            self.topo,
+            self.alloc,
+            job,
+            gpus,
+            co_runners,
+            self.params,
+            self.interference,
+        )
+        return PlacementSolution(
+            job_id=job.job_id,
+            gpus=gpus,
+            task_mapping=dict(mapping),
+            metrics=metrics,
+            pool=pool,
+            p2p=p2p,
+        )
+
+    def _anti_collocation_mapping(
+        self, job: Job, pool: CandidatePool
+    ) -> dict[int, str] | None:
+        """Round-robin tasks over distinct domains (sockets/machines)."""
+        domain_of = (
+            self.topo.machine_of if pool.spans_machines else self.topo.socket_of
+        )
+        by_domain: dict[str, list[str]] = {}
+        for g in pool.gpus:
+            by_domain.setdefault(domain_of(g), []).append(g)
+        domains = sorted(by_domain)
+        if len(domains) < job.num_gpus:
+            return None
+        return {
+            task: by_domain[domains[task]][0] for task in range(job.num_gpus)
+        }
+
+    # ------------------------------------------------------------------
+    def score_allocation(
+        self,
+        job: Job,
+        gpus: tuple[str, ...],
+        co_runners: Mapping[str, tuple[Job, frozenset[str]]] | None = None,
+    ) -> PlacementSolution:
+        """Score an externally chosen allocation (used by the greedy
+        baselines so their decisions carry the same metrics)."""
+        co_runners = co_runners or {}
+        gpus = tuple(sorted(gpus))
+        machines = tuple(sorted({self.topo.machine_of(g) for g in gpus}))
+        p2p = all(
+            self.topo.p2p_connected(a, b)
+            for i, a in enumerate(gpus)
+            for b in gpus[i + 1 :]
+        )
+        metrics = evaluate_solution(
+            self.topo,
+            self.alloc,
+            job,
+            gpus,
+            co_runners,
+            self.params,
+            self.interference,
+        )
+        return PlacementSolution(
+            job_id=job.job_id,
+            gpus=gpus,
+            task_mapping={i: g for i, g in enumerate(gpus)},
+            metrics=metrics,
+            pool=CandidatePool(machines=machines, gpus=gpus),
+            p2p=p2p,
+        )
+
+    def explain(
+        self,
+        job: Job,
+        co_runners: Mapping[str, tuple[Job, frozenset[str]]] | None = None,
+    ) -> list[PlacementSolution]:
+        """All candidate solutions the engine considered, best first.
+
+        Operator-facing: shows *why* a placement won -- every evaluated
+        pool's mapping with its utility, communication cost,
+        interference and P2P capability.  The first element (if any) is
+        exactly what :meth:`propose` would return.
+        """
+        co_runners = co_runners or {}
+        pools = filter_hosts(
+            self.topo, self.alloc, job, co_runners, self.profiles
+        )
+        jobgraph = self.job_graph(job)
+        candidates = []
+        for pool in pools[: self.max_pools]:
+            solution = self._solve_pool(job, jobgraph, pool, co_runners)
+            if solution is not None:
+                candidates.append(solution)
+        candidates.sort(key=lambda s: -s.utility)
+        return candidates
+
+    def p2p_attainable(self, job: Job) -> bool:
+        """Whether any allocation on this hardware could give the job
+        all-pairs P2P (ignoring current occupancy).  TOPO-AWARE-P must
+        not postpone forever chasing an impossible allocation."""
+        if not job.requires_p2p:
+            return True
+        sizes = self.topo.p2p_island_sizes()
+        return bool(sizes) and sizes[0] >= job.num_gpus
+
+    def enforce(self, solution: PlacementSolution) -> None:
+        """Commit a proposed placement to the allocation state."""
+        self.alloc.allocate(solution.job_id, solution.gpus)

@@ -1,0 +1,13 @@
+"""Exports of placement decisions to cluster-manager formats.
+
+The paper's future work: "we plan to ... test the implementation of our
+algorithm in popular resource management systems such as Kubernetes and
+Mesos."  These adapters translate a scored
+:class:`~repro.core.placement.PlacementSolution` into the objects those
+systems consume.
+"""
+
+from repro.export.kubernetes import to_pod_spec, to_pod_specs
+from repro.export.mesos import to_mesos_task
+
+__all__ = ["to_mesos_task", "to_pod_spec", "to_pod_specs"]

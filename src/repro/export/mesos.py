@@ -1,0 +1,51 @@
+"""Mesos TaskInfo generation from placement decisions.
+
+Mirrors the Kubernetes adapter for the other cluster manager the paper
+names: a TaskInfo-shaped dict with GPU resources, the agent (machine)
+the offer must come from, and the prototype's enforcement environment.
+"""
+
+from __future__ import annotations
+
+from repro.core.placement import PlacementSolution
+from repro.prototype.enforcement import launch_command
+from repro.topology.graph import TopologyGraph
+from repro.workload.job import Job
+
+
+def to_mesos_task(
+    topo: TopologyGraph,
+    job: Job,
+    solution: PlacementSolution,
+) -> dict:
+    """A Mesos TaskInfo dict binding the job to its chosen GPUs."""
+    if solution.job_id != job.job_id:
+        raise ValueError(
+            f"solution is for {solution.job_id!r}, not {job.job_id!r}"
+        )
+    machines = sorted({topo.machine_of(g) for g in solution.gpus})
+    if len(machines) != 1:
+        raise ValueError("a Mesos task binds to one agent")
+    return {
+        "name": job.job_id,
+        "task_id": {"value": job.job_id},
+        "agent_hostname": machines[0],
+        "resources": [
+            {
+                "name": "gpus",
+                "type": "SCALAR",
+                "scalar": {"value": float(job.num_gpus)},
+            }
+        ],
+        "command": {
+            "shell": True,
+            "value": launch_command(topo, job, solution.gpus),
+        },
+        "labels": {
+            "labels": [
+                {"key": "utility", "value": f"{solution.utility:.4f}"},
+                {"key": "p2p", "value": str(solution.p2p).lower()},
+                {"key": "gpus", "value": ",".join(solution.gpus)},
+            ]
+        },
+    }

@@ -1,0 +1,28 @@
+"""Profile-calibrated performance, bandwidth and interference models.
+
+These replace the paper's measured Caffe runs (Section 3) and nvprof /
+nvidia-smi / Perfmon2 counters: every constant is calibrated so the
+model regenerates the *shapes* of Figures 3-6 (see DESIGN.md for the
+substitution rationale).  The scheduler itself only ever consumes
+:class:`~repro.workload.profiles.JobProfile` objects built from these
+models, mirroring how the paper's scheduler consumes experimentally
+generated profiles (Section 4.2).
+"""
+
+from repro.perf.calibration import Calibration, ModelCalibration, DEFAULT_CALIBRATION, MachineKind
+from repro.perf.model import PerformanceModel, Placement
+from repro.perf.interference import InterferenceModel, pairwise_slowdown
+from repro.perf.bandwidth import average_demand_gbs, nvlink_bandwidth_series
+
+__all__ = [
+    "Calibration",
+    "DEFAULT_CALIBRATION",
+    "InterferenceModel",
+    "MachineKind",
+    "ModelCalibration",
+    "PerformanceModel",
+    "Placement",
+    "average_demand_gbs",
+    "nvlink_bandwidth_series",
+    "pairwise_slowdown",
+]

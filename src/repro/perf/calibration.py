@@ -1,0 +1,152 @@
+"""Calibrated constants of the performance model.
+
+The model for a data-parallel training job is
+
+``iter_time = compute(batch) + comm(placement)``
+
+* ``compute(batch) = compute_base_s + compute_per_sample_s * batch`` --
+  per-iteration GPU compute, linear in the per-GPU batch size.  This
+  reproduces Figure 3's observation that compute grows from ~1 s to
+  ~66 s per 40 AlexNet iterations as the batch grows 1 -> 128 while
+  communication stays roughly constant.
+* ``comm(placement) = allreduce_scale(n) * comm_volume_gb / bw_eff`` --
+  gradient exchange per iteration.  ``comm_volume_gb`` is an *effective*
+  volume (it folds per-layer synchronisation inefficiency into a single
+  constant, which is why it exceeds the raw parameter size); ``bw_eff``
+  is the bottleneck-path bandwidth between the allocated GPUs, reduced
+  by ``NO_P2P_PENALTY`` when traffic must be routed through host memory
+  (no peer-to-peer), as the paper describes for cross-socket pairs.
+
+Anchors used for calibration (all from the paper):
+
+* Fig. 3: AlexNet 40-iteration compute ~1 s (batch 1) -> ~66 s (batch
+  128); communication ~2 s at every batch size; GoogLeNet communicates
+  far less (Inception modules).
+* Fig. 4: pack-vs-spread speedup ~1.3x for AlexNet at batch 1-2,
+  fading to ~1.0 beyond batch 16; GoogLeNet ~flat.
+* Sec. 3.2: on the PCIe/K80 machine the same speedups are 1.24x /
+  1.21x / ~1.1x at batches 1 / 2 / 8.
+* Fig. 5: NVLink traffic ~40 GB/s at batch 1 vs ~6 GB/s at batch 128.
+* Fig. 6: co-location slowdowns ~30% (tiny+tiny), ~24% (big+tiny),
+  ~21% (big+small), ~0 (big+big) -- encoded as per-class *sensitivity*
+  (how much a job suffers; tracks its communication fraction) and
+  *pressure* (how much it perturbs others; nearly flat in batch size
+  because the same gradient bytes move regardless of how often).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.workload.job import BatchClass, ModelType
+
+#: Effective-bandwidth multiplier when GPU pairs cannot use P2P and
+#: traffic is staged through host memory (extra copies + contention).
+NO_P2P_PENALTY = 0.718
+
+
+class MachineKind(enum.Enum):
+    """Machine families with distinct calibrations (Section 3.1/3.2)."""
+
+    NVLINK_P100 = "nvlink-p100"  # Power8 "Minsky", the main testbed
+    PCIE_K80 = "pcie-k80"  # the PCIe gen3 / K80 comparison machine
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class ModelCalibration:
+    """Per-neural-network constants."""
+
+    compute_base_s: float  # per-iteration fixed compute cost (s)
+    compute_per_sample_s: float  # per-sample compute cost (s)
+    comm_volume_gb: float  # effective per-iteration gradient volume (GB)
+    params_gb: float  # raw parameter size (GB), for documentation/bw plots
+
+    def compute_time(self, batch_size: int) -> float:
+        if batch_size < 1:
+            raise ValueError("batch size must be >= 1")
+        return self.compute_base_s + self.compute_per_sample_s * batch_size
+
+
+#: How much slower the K80 computes relative to the P100 (roughly the
+#: per-die fp32 throughput ratio, ~2.8 vs ~9.3 TFLOPS); communication
+#: constants are shared and the bandwidth difference comes from the
+#: topology graph itself.  With 3.0 the Section 3.2 PCIe anchors
+#: (1.24x / 1.21x / ~1.1x at batches 1 / 2 / 8) all reproduce.
+K80_COMPUTE_FACTOR = 3.0
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Full calibration: per-model constants + interference classes."""
+
+    models: Mapping[ModelType, ModelCalibration]
+    sensitivity: Mapping[BatchClass, float]
+    pressure: Mapping[BatchClass, float]
+    no_p2p_penalty: float = NO_P2P_PENALTY
+    k80_compute_factor: float = K80_COMPUTE_FACTOR
+
+    def model(self, model_type: ModelType) -> ModelCalibration:
+        return self.models[model_type]
+
+    def compute_time(
+        self,
+        model_type: ModelType,
+        batch_size: int,
+        machine: MachineKind = MachineKind.NVLINK_P100,
+    ) -> float:
+        t = self.models[model_type].compute_time(batch_size)
+        if machine is MachineKind.PCIE_K80:
+            t *= self.k80_compute_factor
+        return t
+
+
+DEFAULT_CALIBRATION = Calibration(
+    models={
+        # AlexNet: 61M params; heavy communication relative to compute.
+        ModelType.ALEXNET: ModelCalibration(
+            compute_base_s=0.013,
+            compute_per_sample_s=0.0128,
+            comm_volume_gb=2.0,
+            params_gb=0.244,
+        ),
+        # CaffeRef is AlexNet-derived: slightly more compute, a bit less
+        # effective exchange (Fig. 4 shows slightly lower speedups).
+        ModelType.CAFFEREF: ModelCalibration(
+            compute_base_s=0.018,
+            compute_per_sample_s=0.0140,
+            comm_volume_gb=1.8,
+            params_gb=0.248,
+        ),
+        # GoogLeNet: 7M params and Inception modules filter/cluster layer
+        # outputs, so communication is small while compute dominates.
+        ModelType.GOOGLENET: ModelCalibration(
+            compute_base_s=0.060,
+            compute_per_sample_s=0.0450,
+            comm_volume_gb=0.35,
+            params_gb=0.028,
+        ),
+    },
+    # Victim-side sensitivity: fraction of run time exposed to bus
+    # contention; tracks the communication fraction of Figure 3.
+    sensitivity={
+        BatchClass.TINY: 0.62,
+        BatchClass.SMALL: 0.55,
+        BatchClass.MEDIUM: 0.30,
+        BatchClass.BIG: 0.05,
+    },
+    # Aggressor-side pressure: nearly flat, because the same gradient
+    # bytes cross the bus per iteration at every batch size (Fig. 6:
+    # "a job composed by a big batch can cause performance interference
+    # since it still consumes bandwidth").
+    pressure={
+        BatchClass.TINY: 0.48,
+        BatchClass.SMALL: 0.44,
+        BatchClass.MEDIUM: 0.41,
+        BatchClass.BIG: 0.385,
+    },
+)

@@ -1,0 +1,196 @@
+"""Co-location interference model (paper Section 3.3, Figure 6).
+
+Jobs never share GPUs, but they share buses (NVLink uplinks, PCIe
+switches, the inter-socket X-bus) and host memory bandwidth.  The
+slowdown job *v* (victim) suffers from co-located job *a* (aggressor)
+is modelled as
+
+``slowdown(v, a) = sensitivity(v) * pressure(a) * sharing(v, a)``
+
+* ``sensitivity`` is the victim's exposure to bus contention: its
+  batch-class base value (calibrated to Figure 6) scaled by how much of
+  its run time the model says it spends communicating relative to
+  AlexNet at the same class -- so GoogLeNet, which barely communicates,
+  barely suffers.
+* ``pressure`` is the aggressor's perturbation of the bus; nearly flat
+  across batch classes (the same gradient bytes cross the bus per
+  iteration regardless of batch size), scaled by the aggressor's
+  relative bus demand.
+* ``sharing`` in [0, 1] is the fraction of the victim's bus footprint
+  the aggressor also touches (0 = fully disjoint buses), from
+  :meth:`repro.topology.allocation.AllocationState.link_sharing_factor`.
+
+Execution under interference runs at rate ``1 / (1 + sum of slowdowns)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.perf.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.topology.allocation import AllocationState
+from repro.topology.graph import TopologyGraph
+from repro.workload.job import BatchClass, Job, ModelType
+
+#: Reference bandwidth for relative comm-fraction/demand scaling: the
+#: dual-NVLink pack path on the Minsky testbed (GB/s).
+_REF_BW = 40.0
+
+#: Link-sharing factor of the configuration Figure 6 was measured in
+#: (two 2-GPU jobs interleaved across the Minsky sockets, sharing the
+#: X-bus and both DRAM domains).  Sharing factors are normalised
+#: against this reference so the calibrated slowdown table applies in
+#: full at the measured configuration, proportionally below it.
+SHARING_REF = 2.0 / 3.0
+
+
+def _comm_fraction(cal: Calibration, model: ModelType, batch_class: BatchClass) -> float:
+    mc = cal.model(model)
+    comm = mc.comm_volume_gb / _REF_BW
+    compute = mc.compute_time(batch_class.representative_batch)
+    return comm / (comm + compute)
+
+
+def _avg_demand(cal: Calibration, model: ModelType, batch_class: BatchClass) -> float:
+    mc = cal.model(model)
+    comm = mc.comm_volume_gb / _REF_BW
+    compute = mc.compute_time(batch_class.representative_batch)
+    return mc.comm_volume_gb / (comm + compute)
+
+
+def sensitivity(
+    cal: Calibration, model: ModelType, batch_class: BatchClass
+) -> float:
+    """Victim-side sensitivity in [0, 1]."""
+    base = cal.sensitivity[batch_class]
+    rel = _comm_fraction(cal, model, batch_class) / _comm_fraction(
+        cal, ModelType.ALEXNET, batch_class
+    )
+    return min(1.0, base * rel)
+
+
+def pressure(cal: Calibration, model: ModelType, batch_class: BatchClass) -> float:
+    """Aggressor-side pressure in [0, 1]."""
+    base = cal.pressure[batch_class]
+    rel = _avg_demand(cal, model, batch_class) / _avg_demand(
+        cal, ModelType.ALEXNET, batch_class
+    )
+    return min(1.0, base * rel)
+
+
+def pairwise_slowdown(
+    victim: Job,
+    aggressor: Job,
+    sharing: float = 1.0,
+    cal: Calibration = DEFAULT_CALIBRATION,
+) -> float:
+    """Fractional slowdown the victim suffers from one aggressor.
+
+    With full bus sharing this reproduces the Figure 6 anchors for two
+    AlexNet jobs: tiny+tiny ~0.30, big aggressor vs tiny victim ~0.24,
+    vs small victim ~0.21, big+big ~0.02.
+    """
+    if not 0.0 <= sharing <= 1.0:
+        raise ValueError(f"sharing must be in [0, 1], got {sharing}")
+    s = sensitivity(cal, victim.model, victim.batch_class)
+    p = pressure(cal, aggressor.model, aggressor.batch_class)
+    return s * p * min(1.0, sharing / SHARING_REF)
+
+
+class InterferenceModel:
+    """Topology-aware interference over a live allocation state."""
+
+    def __init__(
+        self,
+        topo: TopologyGraph,
+        cal: Calibration = DEFAULT_CALIBRATION,
+    ) -> None:
+        self.topo = topo
+        self.cal = cal
+
+    def slowdown_factor(
+        self,
+        victim: Job,
+        victim_gpus: Iterable[str],
+        co_runners: Mapping[str, tuple[Job, frozenset[str]]],
+        alloc: AllocationState,
+    ) -> float:
+        """Multiplicative slowdown (>= 1) for the victim's execution.
+
+        ``co_runners`` maps job id -> (job, gpus) for every *other*
+        running job; jobs on unrelated machines contribute 0 because
+        their link-sharing factor is 0.
+        """
+        victim_gpus = frozenset(victim_gpus)
+        total = 0.0
+        for other_id, (other, other_gpus) in self._nearby(
+            victim_gpus, co_runners, alloc
+        ):
+            if other_id == victim.job_id:
+                continue
+            share = alloc.link_sharing_factor(victim_gpus, other_gpus)
+            if share > 0.0:
+                total += pairwise_slowdown(victim, other, share, self.cal)
+        return 1.0 + total
+
+    def _nearby(
+        self,
+        gpus: frozenset[str],
+        co_runners: Mapping[str, tuple[Job, frozenset[str]]],
+        alloc: AllocationState,
+    ) -> list[tuple[str, tuple[Job, frozenset[str]]]]:
+        """Co-runners holding GPUs on the machines ``gpus`` touches.
+
+        Only those can share buses; on large clusters this keeps the
+        interference evaluation O(jobs on the machine), not O(all jobs).
+        """
+        machines = {self.topo.machine_of(g) for g in gpus}
+        relevant: set[str] = set()
+        for m in machines:
+            relevant |= alloc.jobs_on_machine(m)
+        out = []
+        for job_id in sorted(relevant):
+            entry = co_runners.get(job_id)
+            if entry is not None:
+                out.append((job_id, entry))
+        return out
+
+    def eq4_interference(
+        self,
+        job: Job,
+        gpus: Iterable[str],
+        co_runners: Mapping[str, tuple[Job, frozenset[str]]],
+        alloc: AllocationState,
+    ) -> float:
+        """The paper's Eq. 4 interference metric ``I``.
+
+        Average slowdown over the candidate job *and* every running job
+        it would perturb.  We express each term as
+        ``collocated_time / solo_time`` (>= 1, so minimising is better;
+        the paper prints the inverse ratio but optimises in the same
+        direction -- see DESIGN.md).  ``I == 1`` means no interference.
+        """
+        gpus = frozenset(gpus)
+        terms = [self.slowdown_factor(job, gpus, co_runners, alloc)]
+        for other_id, (other, other_gpus) in self._nearby(gpus, co_runners, alloc):
+            if other_id == job.job_id:
+                continue
+            share = alloc.link_sharing_factor(other_gpus, gpus)
+            terms.append(1.0 + pairwise_slowdown(other, job, share, self.cal))
+        return sum(terms) / len(terms)
+
+    def collocation_pair_slowdown(
+        self,
+        job_a: Job,
+        gpus_a: Sequence[str],
+        job_b: Job,
+        gpus_b: Sequence[str],
+        alloc: AllocationState,
+    ) -> tuple[float, float]:
+        """Fractional slowdowns (a's, b's) for a co-located pair."""
+        share_ab = alloc.link_sharing_factor(frozenset(gpus_a), frozenset(gpus_b))
+        share_ba = alloc.link_sharing_factor(frozenset(gpus_b), frozenset(gpus_a))
+        return (
+            pairwise_slowdown(job_a, job_b, share_ab, self.cal),
+            pairwise_slowdown(job_b, job_a, share_ba, self.cal),
+        )

@@ -1,0 +1,13 @@
+"""Dependency-free SVG figure rendering (the artifact's ``src/plot/*``).
+
+The paper's artifact ships plotting scripts that turn experiment
+output into the published figures.  This environment has no plotting
+stack, so :mod:`repro.plot.svg` implements minimal line/bar charts as
+plain SVG and :mod:`repro.plot.figures` renders the headline figures
+(4, 5, 6) to files.
+"""
+
+from repro.plot.svg import bar_chart, line_chart
+from repro.plot.figures import render_all_figures
+
+__all__ = ["bar_chart", "line_chart", "render_all_figures"]

@@ -1,0 +1,81 @@
+"""Render the headline paper figures to SVG files."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.figures import (
+    fig4_pack_vs_spread,
+    fig5_nvlink_bandwidth,
+    fig6_collocation,
+)
+from repro.plot.svg import bar_chart, line_chart
+from repro.workload.job import BatchClass
+
+
+def render_fig4(path: Path) -> None:
+    data = fig4_pack_vs_spread()
+    batches = data["batch_sizes"]
+    series = {
+        model: list(zip(batches, values))
+        for model, values in data.items()
+        if model != "batch_sizes"
+    }
+    path.write_text(
+        line_chart(
+            series,
+            title="Figure 4: pack vs spread speedup",
+            x_label="batch size (per GPU)",
+            y_label="speedup",
+        )
+    )
+
+
+def render_fig5(path: Path) -> None:
+    data = fig5_nvlink_bandwidth()
+    series = {
+        f"batch {batch}": list(zip(times.tolist(), gbs.tolist()))
+        for batch, (times, gbs) in sorted(data.items())
+    }
+    path.write_text(
+        line_chart(
+            series,
+            title="Figure 5: NVLink bandwidth (AlexNet)",
+            x_label="time (s)",
+            y_label="GB/s",
+        )
+    )
+
+
+def render_fig6(path: Path) -> None:
+    data = fig6_collocation()
+    classes = [c.name.lower() for c in BatchClass]
+    series = {
+        f"job2 {second}": [data[(first, second)] for first in classes]
+        for second in classes
+    }
+    path.write_text(
+        bar_chart(
+            classes,
+            series,
+            title="Figure 6: co-location slowdown (2x AlexNet)",
+            x_label="job 1 batch class",
+            y_label="slowdown",
+        )
+    )
+
+
+def render_all_figures(directory: str | Path) -> list[Path]:
+    """Render figures 4, 5 and 6 as SVG files; returns the paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    out = []
+    for name, renderer in (
+        ("fig4_pack_vs_spread.svg", render_fig4),
+        ("fig5_nvlink_bandwidth.svg", render_fig5),
+        ("fig6_collocation.svg", render_fig6),
+    ):
+        path = directory / name
+        renderer(path)
+        out.append(path)
+    return out

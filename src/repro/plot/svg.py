@@ -1,0 +1,138 @@
+"""Minimal SVG chart primitives (no third-party plotting stack).
+
+Line and grouped-bar charts sufficient for the paper's figures: axes,
+ticks, legends, series colouring.  Output is a well-formed standalone
+SVG string.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+from xml.sax.saxutils import escape
+
+_COLORS = ("#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd", "#8c564b")
+
+_W, _H = 640, 400
+_ML, _MR, _MT, _MB = 70, 20, 40, 60  # margins
+
+
+def _scale(lo: float, hi: float, span: float):
+    if hi <= lo:
+        hi = lo + 1.0
+    return lambda v: (v - lo) / (hi - lo) * span
+
+
+def _axes(title: str, x_label: str, y_label: str) -> list[str]:
+    plot_w = _W - _ML - _MR
+    plot_h = _H - _MT - _MB
+    return [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_W}" height="{_H}" '
+        f'viewBox="0 0 {_W} {_H}" font-family="sans-serif" font-size="12">',
+        f'<rect width="{_W}" height="{_H}" fill="white"/>',
+        f'<text x="{_W / 2}" y="20" text-anchor="middle" font-size="15">'
+        f"{escape(title)}</text>",
+        f'<line x1="{_ML}" y1="{_MT}" x2="{_ML}" y2="{_MT + plot_h}" stroke="black"/>',
+        f'<line x1="{_ML}" y1="{_MT + plot_h}" x2="{_ML + plot_w}" '
+        f'y2="{_MT + plot_h}" stroke="black"/>',
+        f'<text x="{_ML + plot_w / 2}" y="{_H - 12}" text-anchor="middle">'
+        f"{escape(x_label)}</text>",
+        f'<text x="16" y="{_MT + plot_h / 2}" text-anchor="middle" '
+        f'transform="rotate(-90 16 {_MT + plot_h / 2})">{escape(y_label)}</text>',
+    ]
+
+
+def _y_ticks(parts: list[str], lo: float, hi: float, sy) -> None:
+    plot_h = _H - _MT - _MB
+    for i in range(5):
+        v = lo + (hi - lo) * i / 4
+        y = _MT + plot_h - sy(v)
+        parts.append(
+            f'<line x1="{_ML - 4}" y1="{y:.1f}" x2="{_ML}" y2="{y:.1f}" stroke="black"/>'
+        )
+        parts.append(
+            f'<text x="{_ML - 8}" y="{y + 4:.1f}" text-anchor="end">{v:.2f}</text>'
+        )
+
+
+def _legend(parts: list[str], names: Sequence[str]) -> None:
+    for i, name in enumerate(names):
+        x = _ML + 10 + i * 130
+        color = _COLORS[i % len(_COLORS)]
+        parts.append(
+            f'<rect x="{x}" y="{_MT + 4}" width="12" height="12" fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{x + 16}" y="{_MT + 14}">{escape(name)}</text>'
+        )
+
+
+def line_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Multi-series line chart; each series is a list of (x, y)."""
+    if not series or all(len(pts) == 0 for pts in series.values()):
+        raise ValueError("line_chart needs at least one non-empty series")
+    xs = [x for pts in series.values() for x, _ in pts]
+    ys = [y for pts in series.values() for _, y in pts]
+    sx = _scale(min(xs), max(xs), _W - _ML - _MR)
+    lo, hi = min(min(ys), 0.0), max(ys)
+    sy = _scale(lo, hi, _H - _MT - _MB)
+    plot_h = _H - _MT - _MB
+    parts = _axes(title, x_label, y_label)
+    _y_ticks(parts, lo, hi, sy)
+    for i, (name, pts) in enumerate(series.items()):
+        color = _COLORS[i % len(_COLORS)]
+        coords = " ".join(
+            f"{_ML + sx(x):.1f},{_MT + plot_h - sy(y):.1f}" for x, y in pts
+        )
+        parts.append(
+            f'<polyline points="{coords}" fill="none" stroke="{color}" '
+            f'stroke-width="2"/>'
+        )
+    _legend(parts, list(series))
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def bar_chart(
+    groups: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Grouped bar chart: one bar per (group, series) pair."""
+    if not groups or not series:
+        raise ValueError("bar_chart needs groups and series")
+    for name, vals in series.items():
+        if len(vals) != len(groups):
+            raise ValueError(f"series {name!r} length != number of groups")
+    ys = [v for vals in series.values() for v in vals]
+    lo, hi = min(min(ys), 0.0), max(ys)
+    sy = _scale(lo, hi, _H - _MT - _MB)
+    plot_w = _W - _ML - _MR
+    plot_h = _H - _MT - _MB
+    group_w = plot_w / len(groups)
+    bar_w = group_w * 0.8 / len(series)
+    parts = _axes(title, x_label, y_label)
+    _y_ticks(parts, lo, hi, sy)
+    for gi, group in enumerate(groups):
+        gx = _ML + gi * group_w
+        parts.append(
+            f'<text x="{gx + group_w / 2:.1f}" y="{_MT + plot_h + 16}" '
+            f'text-anchor="middle">{escape(str(group))}</text>'
+        )
+        for si, (name, vals) in enumerate(series.items()):
+            color = _COLORS[si % len(_COLORS)]
+            h = sy(vals[gi])
+            x = gx + group_w * 0.1 + si * bar_w
+            parts.append(
+                f'<rect x="{x:.1f}" y="{_MT + plot_h - h:.1f}" '
+                f'width="{bar_w:.1f}" height="{h:.1f}" fill="{color}"/>'
+            )
+    _legend(parts, list(series))
+    parts.append("</svg>")
+    return "\n".join(parts)

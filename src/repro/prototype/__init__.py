@@ -1,0 +1,36 @@
+"""The prototype system (paper Section 5.1 and Appendix A).
+
+The paper's artifact is driven by INI configuration files
+(``etc/configs/sys-config.ini`` plus one config per scheduling
+algorithm), JSON job manifests, and a main loop that discovers the
+topology, schedules arriving jobs and enforces decisions by launching
+Caffe with ``CUDA_VISIBLE_DEVICES``/``numactl``.  This package
+reproduces that system end to end; with no GPUs present, enforcement
+produces the exact command lines (asserted in tests) and execution is
+delegated to the simulator clock.
+"""
+
+from repro.prototype.config import (
+    AlgorithmConfig,
+    ConfigError,
+    SystemConfig,
+    load_algorithm_config,
+    load_system_config,
+)
+from repro.prototype.enforcement import launch_command, launch_environment
+from repro.prototype.monitors import NVLinkCounterMonitor, DRAMBandwidthMonitor
+from repro.prototype.system import PrototypeSystem, PrototypeRun
+
+__all__ = [
+    "AlgorithmConfig",
+    "ConfigError",
+    "DRAMBandwidthMonitor",
+    "NVLinkCounterMonitor",
+    "PrototypeRun",
+    "PrototypeSystem",
+    "SystemConfig",
+    "launch_command",
+    "launch_environment",
+    "load_algorithm_config",
+    "load_system_config",
+]

@@ -1,0 +1,89 @@
+"""Placement enforcement (paper Section 5.1).
+
+"For enforcing the decisions, before executing any application, the
+system first defines the order of the GPU IDs by exporting
+``CUDA_DEVICE_ORDER=PCI_BUS_ID``, and then, for each application, it
+exposes only the specified GPU list from the scheduler decisions using
+``CUDA_VISIBLE_DEVICES=$gpu_list``.  For preventing performance
+variability related to NUMA remote memory access, the applications with
+only GPUs in the same socket are bound to the socket using
+``numactl``."
+
+With no GPUs present the command lines are generated but not executed;
+tests assert them literally.
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import Mapping, Sequence
+
+from repro.topology.graph import TopologyGraph
+from repro.workload.job import Job
+
+#: Caffe invocation template used by the workload manifest scripts.
+DEFAULT_TRAIN_COMMAND = "caffe train --solver=solvers/{model}_b{batch}.prototxt"
+
+
+def launch_environment(
+    topo: TopologyGraph, gpus: Sequence[str]
+) -> dict[str, str]:
+    """Environment variables enforcing a GPU allocation."""
+    if not gpus:
+        raise ValueError("empty GPU allocation")
+    indices = sorted(topo.gpu_index_of(g) for g in gpus)
+    return {
+        "CUDA_DEVICE_ORDER": "PCI_BUS_ID",
+        "CUDA_VISIBLE_DEVICES": ",".join(str(i) for i in indices),
+    }
+
+
+def numa_binding(topo: TopologyGraph, gpus: Sequence[str]) -> str | None:
+    """``numactl`` prefix when all GPUs share one socket, else ``None``."""
+    sockets = {topo.socket_of(g) for g in gpus}
+    if len(sockets) != 1:
+        return None
+    socket = sockets.pop()
+    machine = topo.machine_of(socket)
+    node_index = topo.sockets(machine=machine).index(socket)
+    return f"numactl --cpunodebind={node_index} --membind={node_index}"
+
+
+def launch_command(
+    topo: TopologyGraph,
+    job: Job,
+    gpus: Sequence[str],
+    command_template: str = DEFAULT_TRAIN_COMMAND,
+) -> str:
+    """Full shell line launching a job on its allocation.
+
+    ``command_template`` may reference ``{model}``, ``{batch}``,
+    ``{gpus}`` and ``{iterations}``.
+    """
+    env = launch_environment(topo, gpus)
+    body = command_template.format(
+        model=job.model.value,
+        batch=job.batch_size,
+        gpus=env["CUDA_VISIBLE_DEVICES"],
+        iterations=job.iterations,
+    )
+    if "--gpu" not in body:
+        body += f" --gpu={env['CUDA_VISIBLE_DEVICES']}"
+    prefix = " ".join(
+        f"{k}={shlex.quote(v)}" for k, v in sorted(env.items())
+    )
+    binding = numa_binding(topo, gpus)
+    if binding:
+        return f"{prefix} {binding} {body}"
+    return f"{prefix} {body}"
+
+
+def enforcement_plan(
+    topo: TopologyGraph,
+    placements: Mapping[str, tuple[Job, Sequence[str]]],
+) -> dict[str, str]:
+    """Command lines for a batch of placements (job id -> shell line)."""
+    return {
+        job_id: launch_command(topo, job, gpus)
+        for job_id, (job, gpus) in sorted(placements.items())
+    }

@@ -1,0 +1,112 @@
+"""The prototype main loop (paper Section 5.1 / Appendix A.3).
+
+"After providing the needed configuration files and workload manifests,
+to execute the system is only required to run the main file."
+
+:class:`PrototypeSystem` ties everything together: load the system
+config, discover (build) the topology, read the job manifest, and run
+the configured scheduling algorithm(s).  Execution is delegated to the
+simulator clock (the environment has no GPUs), but every placement also
+produces the literal enforcement command line the real system would
+execute, and per-job NVLink monitors are attached, so the prototype
+code path is exercised end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.prototype.config import (
+    AlgorithmConfig,
+    SystemConfig,
+    load_algorithm_config,
+    load_system_config,
+)
+from repro.prototype.enforcement import launch_command
+from repro.prototype.monitors import NVLinkCounterMonitor
+from repro.sim.engine import SimulationResult, Simulator
+from repro.workload.job import Job
+from repro.workload.manifest import load_manifest
+
+
+@dataclass
+class PrototypeRun:
+    """Outcome of one algorithm's run over the manifest."""
+
+    algorithm: AlgorithmConfig
+    result: SimulationResult
+    commands: dict[str, str] = field(default_factory=dict)  # job id -> shell line
+    monitors: dict[str, NVLinkCounterMonitor] = field(default_factory=dict)
+
+
+class PrototypeSystem:
+    """Config-driven runner executing one run per algorithm config."""
+
+    def __init__(
+        self,
+        system_config: SystemConfig,
+        algorithms: Sequence[AlgorithmConfig],
+        jobs: Sequence[Job] | None = None,
+    ) -> None:
+        if not algorithms:
+            raise ValueError("at least one algorithm config is required")
+        self.system_config = system_config
+        self.algorithms = list(algorithms)
+        if jobs is None:
+            if system_config.manifest_path is None:
+                raise ValueError("no jobs given and no manifest configured")
+            jobs = load_manifest(system_config.manifest_path)
+        self.jobs = list(jobs)
+
+    @classmethod
+    def from_config_dir(
+        cls, directory: str | Path, jobs: Sequence[Job] | None = None
+    ) -> "PrototypeSystem":
+        """Load ``sys-config.ini`` + every ``*-config.ini`` in a directory."""
+        directory = Path(directory)
+        sys_path = directory / "sys-config.ini"
+        if not sys_path.exists():
+            raise FileNotFoundError(sys_path)
+        system_config = load_system_config(sys_path)
+        algo_paths = sorted(
+            p
+            for p in directory.glob("*-config.ini")
+            if p.name != "sys-config.ini"
+        )
+        algorithms = [load_algorithm_config(p) for p in algo_paths]
+        return cls(system_config, algorithms, jobs)
+
+    def run(self) -> list[PrototypeRun]:
+        """Execute every configured algorithm over the same manifest."""
+        runs = []
+        factory = self.system_config.topology_factory()
+        for algo in self.algorithms:
+            topo = factory()
+            sim = Simulator(
+                topo,
+                algo.make_scheduler(),
+                self.jobs,
+                params=algo.utility_params(),
+            )
+            result = sim.run()
+            commands: dict[str, str] = {}
+            monitors: dict[str, NVLinkCounterMonitor] = {}
+            for rec in result.records:
+                if rec.gpus:
+                    commands[rec.job.job_id] = launch_command(
+                        topo, rec.job, rec.gpus
+                    )
+                    monitors[rec.job.job_id] = NVLinkCounterMonitor(
+                        sim.perf, rec.job, rec.gpus
+                    )
+            runs.append(
+                PrototypeRun(
+                    algorithm=algo,
+                    result=result,
+                    commands=commands,
+                    monitors=monitors,
+                )
+            )
+        return runs

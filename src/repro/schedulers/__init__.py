@@ -1,0 +1,53 @@
+"""Scheduling policies.
+
+* :class:`FCFSScheduler` -- First-Come-First-Served with a strict FIFO
+  queue and first-fit GPU selection (paper Section 5.2 baseline).
+* :class:`BestFitScheduler` -- Best-Fit bin packing: "allocating first
+  the GPUs from highly used domains" (paper Section 5.2 baseline).
+* :class:`TopoAwareScheduler` -- the paper's Algorithm 1 with the
+  TOPO-AWARE policy (place as soon as resources exist) or, with
+  ``postpone=True``, the TOPO-AWARE-P policy (postpone placements that
+  do not satisfy the job's utility/P2P SLO).
+* :class:`RandomScheduler` -- uniform random feasible placement, an
+  extra ablation baseline.
+"""
+
+from repro.schedulers.base import Scheduler, SchedulingContext
+from repro.schedulers.fcfs import FCFSScheduler
+from repro.schedulers.bestfit import BestFitScheduler
+from repro.schedulers.topo import TopoAwareScheduler
+from repro.schedulers.random_sched import RandomScheduler
+from repro.schedulers.sjf import SJFScheduler
+from repro.schedulers.backfill import BackfillScheduler
+
+__all__ = [
+    "BackfillScheduler",
+    "BestFitScheduler",
+    "FCFSScheduler",
+    "RandomScheduler",
+    "SJFScheduler",
+    "Scheduler",
+    "SchedulingContext",
+    "TopoAwareScheduler",
+    "make_scheduler",
+]
+
+
+def make_scheduler(name: str, **kwargs) -> Scheduler:
+    """Factory by canonical name: FCFS, BF, TOPO-AWARE, TOPO-AWARE-P, RANDOM."""
+    key = name.strip().upper().replace("_", "-")
+    if key == "FCFS":
+        return FCFSScheduler(**kwargs)
+    if key in ("BF", "BEST-FIT", "BESTFIT"):
+        return BestFitScheduler(**kwargs)
+    if key == "TOPO-AWARE":
+        return TopoAwareScheduler(postpone=False, **kwargs)
+    if key == "TOPO-AWARE-P":
+        return TopoAwareScheduler(postpone=True, **kwargs)
+    if key == "RANDOM":
+        return RandomScheduler(**kwargs)
+    if key == "SJF":
+        return SJFScheduler(**kwargs)
+    if key in ("EASY-BACKFILL", "BACKFILL", "EASY"):
+        return BackfillScheduler(**kwargs)
+    raise ValueError(f"unknown scheduler {name!r}")

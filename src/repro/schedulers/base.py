@@ -1,0 +1,101 @@
+"""Scheduler interface and shared queue machinery.
+
+A scheduler owns a waiting queue sorted by arrival time (oldest first,
+the paper's starvation-avoidance rule) and is invoked by the simulator
+or the prototype loop whenever the cluster state changes (a job arrived
+or finished).  Each invocation returns the placements to enforce; jobs
+it cannot or will not place stay queued for the next iteration, exactly
+like Algorithm 1's ``postponed_list`` re-queueing.
+"""
+
+from __future__ import annotations
+
+import abc
+import bisect
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.placement import PlacementEngine, PlacementSolution
+from repro.topology.allocation import AllocationState
+from repro.topology.graph import TopologyGraph
+from repro.workload.job import Job
+
+
+@dataclass
+class SchedulingContext:
+    """Everything a policy may consult when deciding placements."""
+
+    topo: TopologyGraph
+    alloc: AllocationState
+    engine: PlacementEngine
+    co_runners: Mapping[str, tuple[Job, frozenset[str]]]
+    now: float = 0.0
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    arrival: float
+    job_id: str
+    job: Job = field(compare=False)
+
+
+class Scheduler(abc.ABC):
+    """Base class: arrival-ordered waiting queue + policy hook."""
+
+    #: canonical policy name (overridden by subclasses)
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self._queue: list[_QueueEntry] = []
+        self.postponements: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # queue management
+    # ------------------------------------------------------------------
+    def submit(self, job: Job) -> None:
+        """Add a job to the waiting queue (ordered by arrival time)."""
+        if any(e.job_id == job.job_id for e in self._queue):
+            raise ValueError(f"job {job.job_id!r} already queued")
+        bisect.insort(self._queue, _QueueEntry(job.arrival_time, job.job_id, job))
+
+    def queued_jobs(self) -> list[Job]:
+        return [e.job for e in self._queue]
+
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def _remove(self, job_id: str) -> None:
+        self._queue = [e for e in self._queue if e.job_id != job_id]
+
+    def _note_postponed(self, job_id: str) -> None:
+        self.postponements[job_id] = self.postponements.get(job_id, 0) + 1
+
+    # ------------------------------------------------------------------
+    # policy hook
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def schedule(self, ctx: SchedulingContext) -> list[PlacementSolution]:
+        """Decide placements for queued jobs given the current state.
+
+        Implementations remove each placed job from the queue, commit
+        its GPUs to ``ctx.alloc`` (via ``ctx.engine.enforce``) so that
+        later decisions in the same round see them, and return the
+        solutions; the caller starts the corresponding executions.
+        """
+
+    # ------------------------------------------------------------------
+    # helpers shared by policies
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _place(
+        ctx: SchedulingContext,
+        job: Job,
+        solution: PlacementSolution,
+        co: dict[str, tuple[Job, frozenset[str]]],
+    ) -> None:
+        """Commit a solution and register it as a co-runner."""
+        ctx.engine.enforce(solution)
+        co[job.job_id] = (job, frozenset(solution.gpus))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(queue={len(self._queue)})"

@@ -1,0 +1,91 @@
+"""The paper's topology-aware scheduler (Algorithm 1).
+
+Both policies run the same pipeline per queued job (oldest first):
+filter hosts by constraints, map the job graph onto every candidate
+pool with DRB (Algorithm 2 + 3), keep the highest-utility solution.
+
+* **TOPO-AWARE** (``postpone=False``): the best available solution is
+  always enforced as soon as resources exist, "without consideration
+  for the future jobs".  Jobs with no feasible hosts are re-queued
+  (Algorithm 1 pops every waiting job each iteration).
+* **TOPO-AWARE-P** (``postpone=True``): additionally allows
+  out-of-order execution by choice: a solution that does not satisfy
+  the job's SLO -- utility below ``min_utility``, or no P2P for a
+  P2P-requiring job -- is postponed to the next scheduler iteration,
+  in the hope that finishing jobs free a better allocation.
+
+Anti-starvation safeguards for the postponing policy: a job is placed
+anyway when nothing is running (the state cannot improve), when its
+P2P demand is unattainable on this hardware, or when an optional
+postponement budget is exhausted.
+"""
+
+from __future__ import annotations
+
+from repro.core.placement import PlacementSolution
+from repro.schedulers.base import Scheduler, SchedulingContext
+from repro.workload.job import Job
+
+
+class TopoAwareScheduler(Scheduler):
+    def __init__(
+        self,
+        postpone: bool = False,
+        max_postponements: int | None = None,
+    ) -> None:
+        super().__init__()
+        self.postpone = postpone
+        self.max_postponements = max_postponements
+        self.name = "TOPO-AWARE-P" if postpone else "TOPO-AWARE"
+
+    def schedule(self, ctx: SchedulingContext) -> list[PlacementSolution]:
+        placed: list[PlacementSolution] = []
+        co = dict(ctx.co_runners)
+        max_free = ctx.alloc.max_free_count()
+        for entry in list(self._queue):
+            job = entry.job
+            if job.single_node and job.num_gpus > max_free:
+                continue  # no machine has the capacity right now
+            solution = ctx.engine.propose(job, co)
+            if solution is None:
+                # Algorithm 1 pops every queued job per iteration: a job
+                # with no feasible hosts right now is simply re-queued
+                # (unlike FCFS, the head never blocks later jobs).
+                continue
+            if self.postpone and not self._acceptable(ctx, job, solution, co):
+                self._note_postponed(job.job_id)
+                continue
+            self._place(ctx, job, solution, co)
+            self._remove(job.job_id)
+            placed.append(solution)
+            max_free = ctx.alloc.max_free_count()
+            if max_free == 0:
+                break
+        return placed
+
+    # ------------------------------------------------------------------
+    def _acceptable(
+        self,
+        ctx: SchedulingContext,
+        job: Job,
+        solution: PlacementSolution,
+        co: dict,
+    ) -> bool:
+        """TOPO-AWARE-P's postponement test (False = postpone)."""
+        utility_ok = solution.utility >= job.min_utility - 1e-12
+        p2p_ok = (
+            not job.requires_p2p
+            or solution.p2p
+            or not ctx.engine.p2p_attainable(job)
+        )
+        if utility_ok and p2p_ok:
+            return True
+        # nothing running: the state cannot improve by waiting
+        if not co:
+            return True
+        if (
+            self.max_postponements is not None
+            and self.postponements.get(job.job_id, 0) >= self.max_postponements
+        ):
+            return True
+        return False

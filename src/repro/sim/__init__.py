@@ -1,0 +1,37 @@
+"""Trace-driven discrete-event simulation (paper Sections 5.3-5.5).
+
+:class:`Simulator` replays a job trace against a topology under a
+scheduling policy.  Execution times come from the calibrated
+performance model; co-located jobs slow each other down per the
+interference model, with running jobs' progress re-scaled whenever the
+allocation changes (the standard progress-conservation DES technique).
+"""
+
+from repro.sim.engine import JobRecord, MachineFailure, SimulationResult, Simulator
+from repro.sim.metrics import (
+    cumulative_execution_time,
+    mean_utility,
+    qos_slowdown,
+    slo_violations,
+    sorted_slowdowns,
+    summarize,
+    total_slowdown,
+)
+from repro.sim.trace import load_trace, save_trace, records_to_rows
+
+__all__ = [
+    "JobRecord",
+    "MachineFailure",
+    "SimulationResult",
+    "Simulator",
+    "cumulative_execution_time",
+    "load_trace",
+    "mean_utility",
+    "qos_slowdown",
+    "records_to_rows",
+    "save_trace",
+    "slo_violations",
+    "sorted_slowdowns",
+    "summarize",
+    "total_slowdown",
+]

@@ -1,0 +1,361 @@
+"""Discrete-event simulation engine.
+
+Event kinds: job ARRIVAL and job FINISH.  The scheduler runs after
+every batch of simultaneous events (the paper's Algorithm 1 "wakeup
+after an event, e.g. a job has finished").  Each running job carries
+its *remaining solo work* in seconds; its progress rate is the inverse
+of its current interference slowdown factor, so finish times are
+re-derived whenever allocations change.  Stale finish events are
+version-guarded.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time as _time
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.placement import PlacementEngine, PlacementSolution
+from repro.core.utility import UtilityParams
+from repro.perf.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.perf.interference import InterferenceModel
+from repro.perf.model import PerformanceModel
+from repro.schedulers.base import Scheduler, SchedulingContext
+from repro.topology.allocation import AllocationState
+from repro.topology.graph import TopologyGraph
+from repro.workload.job import Job
+from repro.workload.profiles import ProfileDatabase
+
+
+@dataclass
+class JobRecord:
+    """Everything measured about one job across its simulated life."""
+
+    job: Job
+    arrival: float
+    placed_at: float | None = None
+    finished_at: float | None = None
+    gpus: tuple[str, ...] = ()
+    utility: float | None = None
+    p2p: bool | None = None
+    solo_exec_time: float | None = None  # placement-determined, no interference
+    ideal_exec_time: float = 0.0  # best pack placement on empty cluster
+    postponements: int = 0
+    unplaceable: bool = False
+    restarts: int = 0  # times the job was killed by a machine failure
+
+    @property
+    def waiting_time(self) -> float | None:
+        if self.placed_at is None:
+            return None
+        return self.placed_at - self.arrival
+
+    @property
+    def exec_time(self) -> float | None:
+        if self.finished_at is None or self.placed_at is None:
+            return None
+        return self.finished_at - self.placed_at
+
+
+@dataclass
+class SimulationResult:
+    """Output of one simulation run."""
+
+    scheduler_name: str
+    records: list[JobRecord]
+    makespan: float
+    decision_time_s: float  # wall-clock spent inside scheduler.schedule
+    decision_rounds: int
+
+    @property
+    def mean_decision_time_s(self) -> float:
+        if self.decision_rounds == 0:
+            return 0.0
+        return self.decision_time_s / self.decision_rounds
+
+    def record_of(self, job_id: str) -> JobRecord:
+        for rec in self.records:
+            if rec.job.job_id == job_id:
+                return rec
+        raise KeyError(job_id)
+
+
+_ARRIVAL = 0
+_FINISH = 1
+_FAILURE = 2
+_RECOVERY = 3
+
+
+@dataclass(frozen=True)
+class MachineFailure:
+    """A fail-stop machine outage injected into a simulation.
+
+    Jobs running on the machine at ``at_time`` are killed and
+    resubmitted to the scheduler (cold restart: training state is
+    lost, as with a checkpoint-free Caffe run).  ``duration_s=None``
+    means the machine never comes back.
+    """
+
+    machine: str
+    at_time: float
+    duration_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.at_time < 0:
+            raise ValueError("at_time must be >= 0")
+        if self.duration_s is not None and self.duration_s <= 0:
+            raise ValueError("duration_s must be positive (or None)")
+
+
+@dataclass
+class _Running:
+    job: Job
+    gpus: frozenset[str]
+    remaining: float  # solo-work seconds left
+    rate: float  # progress per simulated second (1/slowdown)
+    version: int = 0
+
+
+class Simulator:
+    """Replay a job list under one scheduler on one topology."""
+
+    def __init__(
+        self,
+        topo: TopologyGraph,
+        scheduler: Scheduler,
+        jobs: Iterable[Job],
+        *,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        params: UtilityParams = UtilityParams(),
+        profiles: ProfileDatabase | None = None,
+        failures: Iterable[MachineFailure] = (),
+    ) -> None:
+        self.topo = topo
+        self.scheduler = scheduler
+        self.jobs: list[Job] = sorted(jobs, key=lambda j: (j.arrival_time, j.job_id))
+        ids = [j.job_id for j in self.jobs]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate job ids in trace")
+        self.calibration = calibration
+        self.alloc = AllocationState(topo)
+        self.perf = PerformanceModel(topo, calibration)
+        self.interference = InterferenceModel(topo, calibration)
+        self.engine = PlacementEngine(
+            topo, self.alloc, params, profiles, self.interference
+        )
+        self._records: dict[str, JobRecord] = {}
+        self._running: dict[str, _Running] = {}
+        self._heap: list[tuple[float, int, int, str]] = []
+        self._seq = 0
+        self._now = 0.0
+        self._ideal_cache: dict[tuple, float] = {}
+        self.failures = sorted(failures, key=lambda f: f.at_time)
+        machines = set(topo.machines())
+        for failure in self.failures:
+            if failure.machine not in machines:
+                raise ValueError(f"failure names unknown machine {failure.machine!r}")
+
+    # ------------------------------------------------------------------
+    def _push(self, when: float, kind: int, job_id: str) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (when, kind, self._seq, job_id))
+
+    def _ideal_time(self, job: Job) -> float:
+        key = (job.model, job.batch_size, job.num_gpus, job.iterations)
+        cached = self._ideal_cache.get(key)
+        if cached is None:
+            try:
+                cached = self.perf.ideal_exec_time(job)
+            except ValueError:
+                # job larger than the whole topology: it can never be
+                # placed, so there is no ideal time (record stays 0 and
+                # the job ends up marked unplaceable)
+                cached = 0.0
+            self._ideal_cache[key] = cached
+        return cached
+
+    def _advance_progress(self, t: float) -> None:
+        dt = t - self._now
+        if dt < 0:
+            raise RuntimeError(f"time went backwards: {self._now} -> {t}")
+        if dt > 0:
+            for run in self._running.values():
+                run.remaining -= dt * run.rate
+        self._now = t
+
+    def _co_runners(self) -> dict[str, tuple[Job, frozenset[str]]]:
+        return {
+            job_id: (run.job, run.gpus) for job_id, run in self._running.items()
+        }
+
+    def _refresh_rates(self, touched_machines: set[str]) -> None:
+        """Recompute rates/finish events for jobs near changed machines."""
+        if not touched_machines:
+            return
+        co = self._co_runners()
+        affected: set[str] = set()
+        for m in touched_machines:
+            affected |= self.alloc.jobs_on_machine(m)
+        for job_id in affected:
+            run = self._running.get(job_id)
+            if run is None:
+                continue
+            factor = self.interference.slowdown_factor(
+                run.job, run.gpus, co, self.alloc
+            )
+            new_rate = 1.0 / factor
+            if abs(new_rate - run.rate) > 1e-12 or run.version == 0:
+                run.rate = new_rate
+                run.version += 1
+                self._push(
+                    self._now + run.remaining / run.rate, _FINISH, job_id
+                )
+
+    def _start_job(self, solution: PlacementSolution) -> set[str]:
+        rec = self._records[solution.job_id]
+        job = rec.job
+        gpus = frozenset(solution.gpus)
+        # task-indexed GPU order: model-parallel pipelines/rings are
+        # charged per the mapping DRB chose, not an arbitrary sort
+        by_task = [
+            solution.task_mapping[t] for t in sorted(solution.task_mapping)
+        ]
+        solo = self.perf.solo_exec_time(job, by_task)
+        rec.placed_at = self._now
+        rec.gpus = tuple(sorted(gpus))
+        rec.utility = solution.utility
+        rec.p2p = solution.p2p
+        rec.solo_exec_time = solo
+        rec.postponements = self.scheduler.postponements.get(job.job_id, 0)
+        self._running[job.job_id] = _Running(
+            job=job, gpus=gpus, remaining=solo, rate=1.0, version=0
+        )
+        return {self.topo.machine_of(g) for g in gpus}
+
+    def _finish_job(self, job_id: str) -> set[str]:
+        run = self._running.pop(job_id)
+        if run.remaining > 1e-6:
+            raise RuntimeError(
+                f"{job_id} finished with {run.remaining:.3f}s work left"
+            )
+        self.alloc.release(job_id)
+        rec = self._records[job_id]
+        rec.finished_at = self._now
+        return {self.topo.machine_of(g) for g in run.gpus}
+
+    def _fail_machine(self, machine: str) -> set[str]:
+        """Fail-stop a machine: kill and resubmit its jobs."""
+        victims = self.alloc.set_machine_down(machine)
+        touched = {machine}
+        for job_id in victims:
+            run = self._running.pop(job_id, None)
+            if run is None:
+                continue
+            # a spanning job may hold GPUs on healthy machines too;
+            # their neighbours speed back up once it dies
+            touched |= {self.topo.machine_of(g) for g in run.gpus}
+            self.alloc.release(job_id)
+            rec = self._records[job_id]
+            rec.restarts += 1
+            rec.placed_at = None
+            rec.gpus = ()
+            rec.utility = None
+            rec.p2p = None
+            rec.solo_exec_time = None
+            self.scheduler.submit(run.job)
+        return touched
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Run to completion and return per-job records."""
+        for job in self.jobs:
+            self._records[job.job_id] = JobRecord(
+                job=job,
+                arrival=job.arrival_time,
+                ideal_exec_time=self._ideal_time(job),
+            )
+            self._push(job.arrival_time, _ARRIVAL, job.job_id)
+        for failure in self.failures:
+            self._push(failure.at_time, _FAILURE, failure.machine)
+            if failure.duration_s is not None:
+                self._push(
+                    failure.at_time + failure.duration_s,
+                    _RECOVERY,
+                    failure.machine,
+                )
+
+        decision_time = 0.0
+        rounds = 0
+        while self._heap:
+            t = self._heap[0][0]
+            self._advance_progress(t)
+            touched: set[str] = set()
+            # drain all events at time t before scheduling
+            while self._heap and self._heap[0][0] <= t + 1e-12:
+                _, kind, _, payload = heapq.heappop(self._heap)
+                if kind == _ARRIVAL:
+                    self.scheduler.submit(self._records[payload].job)
+                elif kind == _FAILURE:
+                    touched |= self._fail_machine(payload)
+                elif kind == _RECOVERY:
+                    self.alloc.set_machine_up(payload)
+                else:
+                    run = self._running.get(payload)
+                    if run is None or run.remaining > 1e-6:
+                        continue  # stale finish event
+                    touched |= self._finish_job(payload)
+            ctx = SchedulingContext(
+                topo=self.topo,
+                alloc=self.alloc,
+                engine=self.engine,
+                co_runners=self._co_runners(),
+                now=self._now,
+            )
+            t0 = _time.perf_counter()
+            placements = self.scheduler.schedule(ctx)
+            decision_time += _time.perf_counter() - t0
+            rounds += 1
+            for solution in placements:
+                touched |= self._start_job(solution)
+            self._refresh_rates(touched)
+            if not self._heap and self.scheduler.queue_length() > 0:
+                if not self._running:
+                    # nothing can unblock the queue: mark unplaceable
+                    for job in self.scheduler.queued_jobs():
+                        self._records[job.job_id].unplaceable = True
+                    break
+
+        records = [self._records[j.job_id] for j in self.jobs]
+        makespan = max(
+            (r.finished_at for r in records if r.finished_at is not None),
+            default=0.0,
+        )
+        return SimulationResult(
+            scheduler_name=self.scheduler.name,
+            records=records,
+            makespan=makespan,
+            decision_time_s=decision_time,
+            decision_rounds=rounds,
+        )
+
+
+def run_comparison(
+    topo_factory,
+    jobs: Sequence[Job],
+    scheduler_names: Sequence[str] = ("BF", "FCFS", "TOPO-AWARE", "TOPO-AWARE-P"),
+    **sim_kwargs,
+) -> dict[str, SimulationResult]:
+    """Run the same trace under several policies on fresh topologies.
+
+    ``topo_factory`` is called once per policy so allocation state and
+    caches never leak between runs.
+    """
+    from repro.schedulers import make_scheduler
+
+    results: dict[str, SimulationResult] = {}
+    for name in scheduler_names:
+        topo = topo_factory()
+        sim = Simulator(topo, make_scheduler(name), list(jobs), **sim_kwargs)
+        results[name] = sim.run()
+    return results

@@ -1,0 +1,189 @@
+"""Metrics over simulation records (the quantities the paper plots).
+
+* QoS slowdown (Figures 8e/9e/10a/11a): execution time under the chosen
+  placement and interference, relative to the job's ideal (best pack
+  placement, no co-runners) -- strictly the cost of the placement
+  decision.
+* QoS + waiting slowdown (Figures 8f/9f/10b/11b): the same, but charged
+  from arrival, so queueing delay counts too.
+* SLO violations: placements whose utility fell below the job's
+  ``min_utility``.
+* cumulative execution time: the makespan of the whole workload, the
+  metric behind the paper's headline "TOPO-AWARE-P affords a speedup of
+  ~1.30x" (Section 5.2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.sim.engine import JobRecord, SimulationResult
+
+
+def qos_slowdown(record: JobRecord) -> float:
+    """Execution slowdown vs the ideal placement (0 = ideal)."""
+    if record.exec_time is None:
+        raise ValueError(f"{record.job.job_id} did not finish")
+    if record.ideal_exec_time <= 0:
+        raise ValueError(f"{record.job.job_id} has no ideal time")
+    return max(0.0, record.exec_time / record.ideal_exec_time - 1.0)
+
+
+def total_slowdown(record: JobRecord) -> float:
+    """Slowdown including scheduler queue waiting time."""
+    if record.finished_at is None:
+        raise ValueError(f"{record.job.job_id} did not finish")
+    span = record.finished_at - record.arrival
+    return max(0.0, span / record.ideal_exec_time - 1.0)
+
+
+def sorted_slowdowns(
+    records: Iterable[JobRecord], include_waiting: bool = False
+) -> np.ndarray:
+    """Per-job slowdowns ordered worst to best (the figures' x-axis)."""
+    fn = total_slowdown if include_waiting else qos_slowdown
+    vals = [fn(r) for r in records if r.finished_at is not None]
+    return np.array(sorted(vals, reverse=True))
+
+
+def slo_violations(records: Iterable[JobRecord]) -> list[str]:
+    """Jobs placed below their minimum utility (violated SLOs)."""
+    out = []
+    for r in records:
+        if r.utility is not None and r.utility < r.job.min_utility - 1e-9:
+            out.append(r.job.job_id)
+    return out
+
+
+def cumulative_execution_time(result: SimulationResult) -> float:
+    """Completion time of the whole workload (makespan)."""
+    return result.makespan
+
+
+def mean_utility(records: Iterable[JobRecord]) -> float:
+    vals = [r.utility for r in records if r.utility is not None]
+    return float(np.mean(vals)) if vals else 0.0
+
+
+def mean_waiting_time(records: Iterable[JobRecord]) -> float:
+    vals = [r.waiting_time for r in records if r.waiting_time is not None]
+    return float(np.mean(vals)) if vals else 0.0
+
+
+def utilization_timeline(
+    records: Iterable[JobRecord],
+    total_gpus: int,
+    n_samples: int = 200,
+) -> tuple[np.ndarray, np.ndarray]:
+    """GPU-busy fraction over time (the paper's utilization claim)."""
+    if total_gpus < 1:
+        raise ValueError("total_gpus must be >= 1")
+    if n_samples < 2:
+        raise ValueError("n_samples must be >= 2")
+    placed = [r for r in records if r.placed_at is not None]
+    if not placed:
+        return np.array([0.0]), np.array([0.0])
+    horizon = max(
+        r.finished_at if r.finished_at is not None else r.placed_at
+        for r in placed
+    )
+    times = np.linspace(0.0, max(horizon, 1e-9), n_samples)
+    busy = np.zeros(n_samples)
+    for r in placed:
+        end = r.finished_at if r.finished_at is not None else horizon
+        mask = (times >= r.placed_at) & (times < end)
+        busy[mask] += len(r.gpus)
+    return times, busy / total_gpus
+
+
+def average_utilization(records: Iterable[JobRecord], total_gpus: int) -> float:
+    """Time-averaged GPU-busy fraction across the whole run."""
+    times, util = utilization_timeline(records, total_gpus)
+    if len(times) < 2:
+        return 0.0
+    return float(np.trapezoid(util, times) / (times[-1] - times[0]))
+
+
+def bandwidth_timeline(
+    records: Iterable[JobRecord],
+    profiles,
+    n_samples: int = 200,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(times, p2p GB/s, host-routed GB/s) across the run.
+
+    Reproduces Figure 8's bottom strips: each running job contributes
+    its profile's average bus demand, attributed to the P2P series when
+    its placement is peer-to-peer capable and to the routed
+    (GPU-CPU-GPU) series otherwise.
+    """
+    placed = [
+        r for r in records if r.placed_at is not None and r.finished_at is not None
+    ]
+    if not placed:
+        return np.array([0.0]), np.array([0.0]), np.array([0.0])
+    horizon = max(r.finished_at for r in placed)
+    times = np.linspace(0.0, horizon, n_samples)
+    p2p = np.zeros(n_samples)
+    routed = np.zeros(n_samples)
+    for r in placed:
+        if r.job.num_gpus < 2:
+            continue  # no GPU-GPU traffic
+        demand = profiles.for_job(r.job).avg_demand_gbs
+        mask = (times >= r.placed_at) & (times < r.finished_at)
+        if r.p2p:
+            p2p[mask] += demand
+        else:
+            routed[mask] += demand
+    return times, p2p, routed
+
+
+def summarize(result: SimulationResult) -> dict:
+    """One-line comparison row for a simulation run."""
+    records = [r for r in result.records if r.finished_at is not None]
+    unfinished = [r for r in result.records if r.finished_at is None]
+    return {
+        "scheduler": result.scheduler_name,
+        "jobs": len(result.records),
+        "finished": len(records),
+        "unplaceable": sum(1 for r in unfinished if r.unplaceable),
+        "makespan_s": result.makespan,
+        "mean_qos_slowdown": float(np.mean([qos_slowdown(r) for r in records]))
+        if records
+        else 0.0,
+        "max_qos_slowdown": float(np.max([qos_slowdown(r) for r in records]))
+        if records
+        else 0.0,
+        "mean_total_slowdown": float(
+            np.mean([total_slowdown(r) for r in records])
+        )
+        if records
+        else 0.0,
+        "mean_waiting_s": mean_waiting_time(records),
+        "mean_utility": mean_utility(records),
+        "slo_violations": len(slo_violations(result.records)),
+        "mean_decision_time_s": result.mean_decision_time_s,
+    }
+
+
+def comparison_table(results: Sequence[SimulationResult]) -> str:
+    """Formatted text table across schedulers (benchmark output)."""
+    rows = [summarize(r) for r in results]
+    cols = [
+        ("scheduler", "{:<14}"),
+        ("makespan_s", "{:>10.1f}"),
+        ("mean_qos_slowdown", "{:>9.3f}"),
+        ("mean_total_slowdown", "{:>9.3f}"),
+        ("mean_waiting_s", "{:>9.1f}"),
+        ("slo_violations", "{:>6d}"),
+        ("mean_utility", "{:>8.3f}"),
+    ]
+    header = (
+        f"{'scheduler':<14}{'makespan':>10}{'qos-slow':>9}"
+        f"{'tot-slow':>9}{'wait-s':>9}{'viol':>6}{'utility':>8}"
+    )
+    lines = [header]
+    for row in rows:
+        lines.append("".join(fmt.format(row[name]) for name, fmt in cols))
+    return "\n".join(lines)

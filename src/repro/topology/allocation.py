@@ -1,0 +1,271 @@
+"""Cluster allocation bookkeeping.
+
+:class:`AllocationState` tracks which GPUs are held by which job, and
+derives the quantities the utility function and the interference model
+need: free GPUs per machine/socket, socket fragmentation (Eq. 5), the
+set of bus links a placement occupies, and link overlap between jobs.
+
+GPUs are never shared between jobs (the paper assumes private GPU
+access; only buses are shared).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import FrozenSet, Iterable, Mapping
+
+from repro.topology.graph import NodeKind, TopologyGraph
+
+
+class AllocationError(RuntimeError):
+    """Raised on conflicting or unknown allocations."""
+
+
+class AllocationState:
+    """Mutable view of which job owns which GPUs on a topology."""
+
+    def __init__(self, topo: TopologyGraph) -> None:
+        self.topo = topo
+        self._gpu_owner: dict[str, str] = {}
+        self._job_gpus: dict[str, frozenset[str]] = {}
+        self._all_gpus = tuple(topo.gpus())
+        self._links_cache: dict[frozenset[str], frozenset[tuple[str, str]]] = {}
+        # O(1) per-machine free-count bookkeeping for large clusters
+        self._free_count: dict[str, int] = {
+            m: len(topo.gpus(machine=m)) for m in topo.machines()
+        }
+        self._jobs_by_machine: dict[str, set[str]] = {m: set() for m in topo.machines()}
+        self._down_machines: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def allocate(self, job_id: str, gpus: Iterable[str]) -> None:
+        gpu_set = frozenset(gpus)
+        if not gpu_set:
+            raise AllocationError(f"empty allocation for job {job_id!r}")
+        if job_id in self._job_gpus:
+            raise AllocationError(f"job {job_id!r} already has an allocation")
+        for g in gpu_set:
+            if self.topo.node(g).kind is not NodeKind.GPU:
+                raise AllocationError(f"{g!r} is not a GPU")
+            owner = self._gpu_owner.get(g)
+            if owner is not None:
+                raise AllocationError(f"GPU {g!r} already held by job {owner!r}")
+        for g in gpu_set:
+            self._gpu_owner[g] = job_id
+        self._job_gpus[job_id] = gpu_set
+        for m in {self.topo.machine_of(g) for g in gpu_set}:
+            self._jobs_by_machine[m].add(job_id)
+        for g in gpu_set:
+            self._free_count[self.topo.machine_of(g)] -= 1
+
+    def release(self, job_id: str) -> frozenset[str]:
+        try:
+            gpus = self._job_gpus.pop(job_id)
+        except KeyError:
+            raise AllocationError(f"job {job_id!r} has no allocation") from None
+        for g in gpus:
+            del self._gpu_owner[g]
+            self._free_count[self.topo.machine_of(g)] += 1
+        for m in {self.topo.machine_of(g) for g in gpus}:
+            self._jobs_by_machine[m].discard(job_id)
+        return gpus
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def jobs(self) -> dict[str, frozenset[str]]:
+        return dict(self._job_gpus)
+
+    def gpus_of(self, job_id: str) -> frozenset[str]:
+        try:
+            return self._job_gpus[job_id]
+        except KeyError:
+            raise AllocationError(f"job {job_id!r} has no allocation") from None
+
+    def owner_of(self, gpu: str) -> str | None:
+        return self._gpu_owner.get(gpu)
+
+    def is_free(self, gpu: str) -> bool:
+        return gpu not in self._gpu_owner
+
+    def free_gpus(self, machine: str | None = None, socket: str | None = None) -> list[str]:
+        if machine is not None and machine in self._down_machines:
+            return []
+        if socket is not None and self.topo.machine_of(socket) in self._down_machines:
+            return []
+        pool = self.topo.gpus(machine=machine, socket=socket)
+        if machine is None and self._down_machines:
+            pool = [
+                g for g in pool
+                if self.topo.machine_of(g) not in self._down_machines
+            ]
+        return [g for g in pool if g not in self._gpu_owner]
+
+    def free_count(self, machine: str) -> int:
+        """Free GPUs on a machine, O(1) (hot path of host filtering).
+
+        A failed machine offers no capacity until it recovers.
+        """
+        if machine in self._down_machines:
+            return 0
+        return self._free_count[machine]
+
+    def max_free_count(self) -> int:
+        """Largest per-machine free-GPU count, O(machines).
+
+        Schedulers use it to skip queued jobs that cannot fit anywhere
+        without probing every machine per job.
+        """
+        return max(
+            (c for m, c in self._free_count.items() if m not in self._down_machines),
+            default=0,
+        )
+
+    # ------------------------------------------------------------------
+    # machine health (failure injection)
+    # ------------------------------------------------------------------
+    def set_machine_down(self, machine: str) -> list[str]:
+        """Mark a machine failed; returns the jobs it was running.
+
+        The caller (the simulator) is responsible for releasing and
+        resubmitting those jobs.
+        """
+        if machine not in self._free_count:
+            raise AllocationError(f"unknown machine {machine!r}")
+        self._down_machines.add(machine)
+        return sorted(self._jobs_by_machine[machine])
+
+    def set_machine_up(self, machine: str) -> None:
+        if machine not in self._free_count:
+            raise AllocationError(f"unknown machine {machine!r}")
+        self._down_machines.discard(machine)
+
+    def is_machine_up(self, machine: str) -> bool:
+        return machine not in self._down_machines
+
+    def jobs_on_machine(self, machine: str) -> frozenset[str]:
+        """Jobs currently holding GPUs on ``machine``, O(1)."""
+        return frozenset(self._jobs_by_machine[machine])
+
+    def busy_gpus(self, machine: str | None = None) -> list[str]:
+        return [
+            g for g in self.topo.gpus(machine=machine) if g in self._gpu_owner
+        ]
+
+    def utilization(self) -> float:
+        """Fraction of all GPUs currently allocated."""
+        if not self._all_gpus:
+            return 0.0
+        return len(self._gpu_owner) / len(self._all_gpus)
+
+    # ------------------------------------------------------------------
+    # fragmentation (Eq. 5)
+    # ------------------------------------------------------------------
+    def socket_free_fraction(self, socket: str) -> float:
+        gpus = self.topo.gpus(socket=socket)
+        if not gpus:
+            return 0.0
+        free = sum(1 for g in gpus if g not in self._gpu_owner)
+        return free / len(gpus)
+
+    def fragmentation(self, machine: str | None = None) -> float:
+        """Average per-socket free-GPU fraction (Eq. 5's omega)."""
+        sockets = self.topo.sockets(machine=machine)
+        if not sockets:
+            return 0.0
+        return sum(self.socket_free_fraction(s) for s in sockets) / len(sockets)
+
+    # ------------------------------------------------------------------
+    # link usage / sharing
+    # ------------------------------------------------------------------
+    def links_used(self, gpus: Iterable[str]) -> frozenset[tuple[str, str]]:
+        """Bus edges a job with this GPU set occupies.
+
+        The union of edges along shortest paths between all GPU pairs
+        (peer traffic) plus the path from each GPU to its socket (host
+        traffic: input pipeline, parameter staging without P2P), plus a
+        ``("dram", socket)`` pseudo-link for every touched socket --
+        co-located jobs contend on the socket's memory bandwidth even
+        when their bus links are disjoint (the Power8 counters the
+        paper samples with Perfmon2 measure exactly this channel).
+        """
+        gpu_set = frozenset(gpus)
+        cached = self._links_cache.get(gpu_set)
+        if cached is not None:
+            return cached
+        edges: set[tuple[str, str]] = set()
+        ordered = sorted(gpu_set)
+        for a, b in itertools.combinations(ordered, 2):
+            for edge in self.topo.path_edges(a, b):
+                edges.add(edge.key)
+        for g in ordered:
+            for edge in self.topo.path_edges(g, self.topo.socket_of(g)):
+                edges.add(edge.key)
+            edges.add(("dram", self.topo.socket_of(g)))
+        result = frozenset(edges)
+        self._links_cache[gpu_set] = result
+        return result
+
+    def shared_links(
+        self, gpus_a: Iterable[str], gpus_b: Iterable[str]
+    ) -> frozenset[tuple[str, str]]:
+        return self.links_used(gpus_a) & self.links_used(gpus_b)
+
+    def link_sharing_factor(
+        self, gpus_a: Iterable[str], gpus_b: Iterable[str]
+    ) -> float:
+        """How much of job A's bus footprint job B touches, in [0, 1].
+
+        0 means fully disjoint buses (no direct contention channel);
+        1 means every link A uses is also used by B.  Used to scale the
+        profile-table interference between co-located jobs.
+        """
+        links_a = self.links_used(gpus_a)
+        if not links_a:
+            return 0.0
+        shared = links_a & self.links_used(gpus_b)
+        return len(shared) / len(links_a)
+
+    def link_utilization(
+        self,
+        demands: Mapping[str, float],
+    ) -> dict[tuple[str, str], float]:
+        """Aggregate bus demand per link (GB/s) across allocations.
+
+        ``demands`` maps job id -> average bus demand; each job's
+        demand is charged to every link in its footprint (including the
+        per-socket DRAM pseudo-links).  Used for bottleneck diagnostics
+        and the Figure 8-style bus panels.
+        """
+        out: dict[tuple[str, str], float] = {}
+        for job_id, gpus in self._job_gpus.items():
+            demand = demands.get(job_id)
+            if not demand:
+                continue
+            for key in self.links_used(gpus):
+                out[key] = out.get(key, 0.0) + demand
+        return out
+
+    def hottest_links(
+        self, demands: Mapping[str, float], top: int = 5
+    ) -> list[tuple[tuple[str, str], float]]:
+        """The ``top`` busiest links, hottest first."""
+        util = self.link_utilization(demands)
+        return sorted(util.items(), key=lambda kv: (-kv[1], kv[0]))[:top]
+
+    def co_located_jobs(self, gpus: Iterable[str]) -> list[str]:
+        """Jobs holding GPUs on any machine touched by ``gpus``."""
+        machines = {self.topo.machine_of(g) for g in gpus}
+        out = []
+        for job_id, held in self._job_gpus.items():
+            if any(self.topo.machine_of(g) in machines for g in held):
+                out.append(job_id)
+        return sorted(out)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AllocationState(jobs={len(self._job_gpus)}, "
+            f"busy={len(self._gpu_owner)}/{len(self._all_gpus)})"
+        )

@@ -1,0 +1,576 @@
+"""Hierarchical physical topology graph (paper Section 4.1.2, Figure 7).
+
+A :class:`TopologyGraph` holds the levels network -> machine -> socket
+-> (optional switches) -> GPU as vertices, plus direct GPU-to-GPU edges
+for NVLink connections.  Every edge carries
+
+* ``weight`` -- the qualitative distance used by the communication-cost
+  metric (Eq. 3); shortest-path sums over these weights define how
+  "far" two GPUs are, and
+* ``spec`` -- a :class:`~repro.topology.links.LinkSpec` with the link
+  technology and bandwidth, used by the performance/interference models.
+
+The graph is undirected.  Shortest-path distances and widest-path
+(bottleneck-bandwidth) queries are computed with Dijkstra variants and
+cached per source; any mutation invalidates the caches.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.topology.links import LinkSpec, LinkType
+
+
+class TopologyError(ValueError):
+    """Raised for malformed topology construction or queries."""
+
+
+class NodeKind(enum.Enum):
+    NETWORK = "network"
+    MACHINE = "machine"
+    SOCKET = "socket"
+    SWITCH = "switch"
+    GPU = "gpu"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Node:
+    """A topology vertex.
+
+    ``machine`` and ``socket`` record the enclosing components (``None``
+    above that level); ``gpu_index`` is the machine-local GPU id used by
+    enforcement (``CUDA_VISIBLE_DEVICES`` ordering).
+    """
+
+    name: str
+    kind: NodeKind
+    machine: str | None = None
+    socket: str | None = None
+    gpu_index: int | None = None
+
+
+@dataclass(frozen=True)
+class Edge:
+    """An undirected topology edge between ``u`` and ``v``."""
+
+    u: str
+    v: str
+    weight: float
+    spec: LinkSpec
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """Canonical (sorted) endpoint pair identifying this edge."""
+        return (self.u, self.v) if self.u <= self.v else (self.v, self.u)
+
+
+@dataclass
+class _Caches:
+    dist: dict[tuple[str, str | None], dict[str, float]] = field(default_factory=dict)
+    widest: dict[str, dict[str, float]] = field(default_factory=dict)
+    paths: dict[tuple[str, str], tuple[str, ...]] = field(default_factory=dict)
+    machines: list[str] | None = None
+    gpu_lists: dict[tuple[str | None, str | None], list[str]] = field(
+        default_factory=dict
+    )
+
+    def clear(self) -> None:
+        self.dist.clear()
+        self.widest.clear()
+        self.paths.clear()
+        self.machines = None
+        self.gpu_lists.clear()
+
+
+class TopologyGraph:
+    """Weighted undirected graph over topology components."""
+
+    def __init__(self, name: str = "topology") -> None:
+        self.name = name
+        self._nodes: dict[str, Node] = {}
+        self._adj: dict[str, dict[str, Edge]] = {}
+        self._caches = _Caches()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(
+        self,
+        name: str,
+        kind: NodeKind,
+        *,
+        machine: str | None = None,
+        socket: str | None = None,
+        gpu_index: int | None = None,
+    ) -> Node:
+        if name in self._nodes:
+            raise TopologyError(f"duplicate node {name!r}")
+        if kind is NodeKind.GPU and gpu_index is None:
+            raise TopologyError(f"GPU node {name!r} requires gpu_index")
+        node = Node(name, kind, machine=machine, socket=socket, gpu_index=gpu_index)
+        self._nodes[name] = node
+        self._adj[name] = {}
+        self._caches.clear()
+        return node
+
+    def add_edge(self, u: str, v: str, weight: float, spec: LinkSpec) -> Edge:
+        if u == v:
+            raise TopologyError(f"self-loop on {u!r}")
+        for endpoint in (u, v):
+            if endpoint not in self._nodes:
+                raise TopologyError(f"unknown node {endpoint!r}")
+        if v in self._adj[u]:
+            raise TopologyError(f"duplicate edge {u!r} -- {v!r}")
+        if weight <= 0:
+            raise TopologyError(f"edge weight must be positive, got {weight}")
+        edge = Edge(u, v, float(weight), spec)
+        self._adj[u][v] = edge
+        self._adj[v][u] = edge
+        self._caches.clear()
+        return edge
+
+    def merge(self, other: "TopologyGraph") -> None:
+        """Copy all nodes and edges of ``other`` into this graph."""
+        for node in other._nodes.values():
+            if node.name in self._nodes:
+                raise TopologyError(f"node {node.name!r} exists in both graphs")
+            self._nodes[node.name] = node
+            self._adj[node.name] = {}
+        for edge in other.edges():
+            self._adj[edge.u][edge.v] = edge
+            self._adj[edge.v][edge.u] = edge
+        self._caches.clear()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node(self, name: str) -> Node:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise TopologyError(f"unknown node {name!r}") from None
+
+    def nodes(self, kind: NodeKind | None = None) -> list[Node]:
+        if kind is None:
+            return list(self._nodes.values())
+        return [n for n in self._nodes.values() if n.kind is kind]
+
+    def edges(self) -> Iterator[Edge]:
+        seen: set[tuple[str, str]] = set()
+        for adj in self._adj.values():
+            for edge in adj.values():
+                if edge.key not in seen:
+                    seen.add(edge.key)
+                    yield edge
+
+    def neighbors(self, name: str) -> list[str]:
+        self.node(name)
+        return list(self._adj[name])
+
+    def edge(self, u: str, v: str) -> Edge:
+        self.node(u)
+        try:
+            return self._adj[u][v]
+        except KeyError:
+            raise TopologyError(f"no edge {u!r} -- {v!r}") from None
+
+    def gpus(self, machine: str | None = None, socket: str | None = None) -> list[str]:
+        """GPU node names, sorted by (machine, gpu_index).  Cached."""
+        key = (machine, socket)
+        cached = self._caches.gpu_lists.get(key)
+        if cached is not None:
+            return list(cached)
+        out = [
+            n
+            for n in self._nodes.values()
+            if n.kind is NodeKind.GPU
+            and (machine is None or n.machine == machine)
+            and (socket is None or n.socket == socket)
+        ]
+        out.sort(key=lambda n: (n.machine or "", n.gpu_index or 0))
+        names = [n.name for n in out]
+        self._caches.gpu_lists[key] = names
+        return list(names)
+
+    def machines(self) -> list[str]:
+        if self._caches.machines is None:
+            self._caches.machines = sorted(
+                n.name for n in self._nodes.values() if n.kind is NodeKind.MACHINE
+            )
+        return list(self._caches.machines)
+
+    def sockets(self, machine: str | None = None) -> list[str]:
+        return sorted(
+            n.name
+            for n in self._nodes.values()
+            if n.kind is NodeKind.SOCKET and (machine is None or n.machine == machine)
+        )
+
+    def machine_of(self, name: str) -> str:
+        node = self.node(name)
+        if node.kind is NodeKind.MACHINE:
+            return node.name
+        if node.machine is None:
+            raise TopologyError(f"node {name!r} has no machine")
+        return node.machine
+
+    def socket_of(self, name: str) -> str:
+        node = self.node(name)
+        if node.kind is NodeKind.SOCKET:
+            return node.name
+        if node.socket is None:
+            raise TopologyError(f"node {name!r} has no socket")
+        return node.socket
+
+    def gpu_index_of(self, name: str) -> int:
+        node = self.node(name)
+        if node.kind is not NodeKind.GPU or node.gpu_index is None:
+            raise TopologyError(f"node {name!r} is not a GPU")
+        return node.gpu_index
+
+    # ------------------------------------------------------------------
+    # shortest paths / widest paths
+    # ------------------------------------------------------------------
+    def _dijkstra(self, source: str, scope_machine: str | None = None) -> dict[str, float]:
+        """Single-source shortest paths, optionally restricted to one
+        machine's component (hierarchical weights guarantee intra-machine
+        paths never detour through the network, so the scoped search is
+        exact for same-machine queries and much cheaper on clusters).
+
+        GPU nodes never *transit* traffic: a path may start or end at a
+        GPU but cannot route through one (P100-class NVLink does not
+        relay; non-adjacent GPU pairs go through switches/sockets, which
+        is exactly what ``nvidia-smi topo`` reports as PIX/PHB/SYS).
+        """
+        key = (source, scope_machine)
+        cached = self._caches.dist.get(key)
+        if cached is not None:
+            return cached
+        self.node(source)
+        dist: dict[str, float] = {source: 0.0}
+        heap: list[tuple[float, str]] = [(0.0, source)]
+        done: set[str] = set()
+        while heap:
+            d, u = heapq.heappop(heap)
+            if u in done:
+                continue
+            done.add(u)
+            if u != source and self._nodes[u].kind is NodeKind.GPU:
+                continue  # GPUs are endpoints, never relays
+            for v, edge in self._adj[u].items():
+                if scope_machine is not None:
+                    node_v = self._nodes[v]
+                    if node_v.machine != scope_machine and node_v.kind is not NodeKind.MACHINE:
+                        continue
+                    if node_v.kind is NodeKind.MACHINE and v != scope_machine:
+                        continue
+                nd = d + edge.weight
+                if nd < dist.get(v, float("inf")):
+                    dist[v] = nd
+                    heapq.heappush(heap, (nd, v))
+        self._caches.dist[key] = dist
+        return dist
+
+    def _scope_for(self, u: str, v: str) -> str | None:
+        """Common machine of two nodes, or None when they differ."""
+        mu = self._nodes[u].machine or (
+            u if self._nodes[u].kind is NodeKind.MACHINE else None
+        )
+        mv = self._nodes[v].machine or (
+            v if self._nodes[v].kind is NodeKind.MACHINE else None
+        )
+        return mu if (mu is not None and mu == mv) else None
+
+    def distance(self, u: str, v: str) -> float:
+        """Shortest-path distance (sum of qualitative edge weights)."""
+        self.node(u)
+        self.node(v)
+        if u == v:
+            return 0.0
+        dist = self._dijkstra(u, self._scope_for(u, v))
+        try:
+            return dist[v]
+        except KeyError:
+            raise TopologyError(f"{u!r} and {v!r} are disconnected") from None
+
+    def shortest_path(self, u: str, v: str) -> tuple[str, ...]:
+        """One shortest path from ``u`` to ``v`` as a node-name tuple."""
+        cached = self._caches.paths.get((u, v))
+        if cached is not None:
+            return cached
+        self.node(u)
+        self.node(v)
+        if u == v:
+            return (u,)
+        scope = self._scope_for(u, v)
+        dist: dict[str, float] = {u: 0.0}
+        prev: dict[str, str] = {}
+        heap: list[tuple[float, str]] = [(0.0, u)]
+        done: set[str] = set()
+        while heap:
+            d, a = heapq.heappop(heap)
+            if a in done:
+                continue
+            if a == v:
+                break
+            done.add(a)
+            if a != u and self._nodes[a].kind is NodeKind.GPU:
+                continue  # GPUs are endpoints, never relays
+            for b, edge in self._adj[a].items():
+                if scope is not None:
+                    node_b = self._nodes[b]
+                    if node_b.machine != scope and not (
+                        node_b.kind is NodeKind.MACHINE and b == scope
+                    ):
+                        continue
+                nd = d + edge.weight
+                if nd < dist.get(b, float("inf")):
+                    dist[b] = nd
+                    prev[b] = a
+                    heapq.heappush(heap, (nd, b))
+        if v not in dist:
+            raise TopologyError(f"{u!r} and {v!r} are disconnected")
+        path = [v]
+        while path[-1] != u:
+            path.append(prev[path[-1]])
+        path.reverse()
+        result = tuple(path)
+        self._caches.paths[(u, v)] = result
+        self._caches.paths[(v, u)] = tuple(reversed(result))
+        return result
+
+    def path_edges(self, u: str, v: str) -> list[Edge]:
+        """Edges along one shortest path from ``u`` to ``v``."""
+        path = self.shortest_path(u, v)
+        return [self.edge(a, b) for a, b in itertools.pairwise(path)]
+
+    def bottleneck_bandwidth(self, u: str, v: str) -> float:
+        """Maximum-bottleneck ("widest path") bandwidth between two nodes.
+
+        This is the effective peer-to-peer bandwidth the performance
+        model assumes for GPU pairs: the path that maximises the minimum
+        link bandwidth along it.  Direct NVLink neighbours therefore see
+        the NVLink bandwidth, while cross-socket pairs are limited by
+        the system bus.
+        """
+        self.node(v)
+        if u == v:
+            return float("inf")
+        scope = self._scope_for(u, v)
+        key = f"{u}|{scope}"
+        cached = self._caches.widest.get(key)
+        if cached is None:
+            cached = self._widest_from(u, scope)
+            self._caches.widest[key] = cached
+        try:
+            return cached[v]
+        except KeyError:
+            raise TopologyError(f"{u!r} and {v!r} are disconnected") from None
+
+    def _widest_from(self, source: str, scope_machine: str | None = None) -> dict[str, float]:
+        self.node(source)
+        width: dict[str, float] = {source: float("inf")}
+        # max-heap via negation
+        heap: list[tuple[float, str]] = [(-float("inf"), source)]
+        done: set[str] = set()
+        while heap:
+            w, u = heapq.heappop(heap)
+            w = -w
+            if u in done:
+                continue
+            done.add(u)
+            if u != source and self._nodes[u].kind is NodeKind.GPU:
+                continue  # GPUs are endpoints, never relays
+            for v, edge in self._adj[u].items():
+                if scope_machine is not None:
+                    node_v = self._nodes[v]
+                    if node_v.machine != scope_machine and not (
+                        node_v.kind is NodeKind.MACHINE and v == scope_machine
+                    ):
+                        continue
+                nw = min(w, edge.spec.bandwidth_gbs)
+                if nw > width.get(v, 0.0):
+                    width[v] = nw
+                    heapq.heappush(heap, (-nw, v))
+        return width
+
+    def distance_matrix(self, names: Iterable[str] | None = None) -> tuple[list[str], np.ndarray]:
+        """All-pairs shortest-path distances for ``names`` (default: GPUs).
+
+        Returns the node order and a symmetric float matrix.
+        """
+        order = list(names) if names is not None else self.gpus()
+        n = len(order)
+        mat = np.zeros((n, n), dtype=float)
+        for i, u in enumerate(order):
+            dist = self._dijkstra(u)
+            for j, v in enumerate(order):
+                if i != j:
+                    try:
+                        mat[i, j] = dist[v]
+                    except KeyError:
+                        raise TopologyError(f"{u!r} and {v!r} are disconnected") from None
+        return order, mat
+
+    # ------------------------------------------------------------------
+    # aggregates
+    # ------------------------------------------------------------------
+    def pairwise_distance_sum(self, names: Iterable[str]) -> float:
+        """Sum of pairwise shortest-path distances (Eq. 3's ``t``)."""
+        names = list(names)
+        if len(names) < 2:
+            return 0.0
+        machines = {self._nodes[n].machine for n in names}
+        scope = machines.pop() if len(machines) == 1 else None
+        total = 0.0
+        for i, u in enumerate(names):
+            dist = self._dijkstra(u, scope)
+            for v in names[i + 1 :]:
+                total += dist[v]
+        return total
+
+    def diameter(self, names: Iterable[str] | None = None) -> float:
+        """Largest pairwise distance among ``names`` (default: GPUs)."""
+        order = list(names) if names is not None else self.gpus()
+        worst = 0.0
+        for i, u in enumerate(order):
+            dist = self._dijkstra(u)
+            for v in order[i + 1 :]:
+                worst = max(worst, dist[v])
+        return worst
+
+    # ------------------------------------------------------------------
+    # validation / export
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`TopologyError` if broken.
+
+        Invariants: at least one GPU; every GPU names an existing machine
+        and socket; the graph is connected; GPU indices are unique per
+        machine.
+        """
+        gpus = self.nodes(NodeKind.GPU)
+        if not gpus:
+            raise TopologyError("topology has no GPUs")
+        seen: set[tuple[str | None, int | None]] = set()
+        for gpu in gpus:
+            if gpu.machine is None or gpu.machine not in self._nodes:
+                raise TopologyError(f"GPU {gpu.name!r} has unknown machine {gpu.machine!r}")
+            if gpu.socket is None or gpu.socket not in self._nodes:
+                raise TopologyError(f"GPU {gpu.name!r} has unknown socket {gpu.socket!r}")
+            key = (gpu.machine, gpu.gpu_index)
+            if key in seen:
+                raise TopologyError(
+                    f"duplicate gpu_index {gpu.gpu_index} on machine {gpu.machine!r}"
+                )
+            seen.add(key)
+        # connectivity: plain BFS over the raw adjacency (the routing
+        # rule that GPUs never relay does not apply here -- a switch
+        # reachable only through its GPUs is still physically attached)
+        start = next(iter(self._nodes))
+        reached = {start}
+        frontier = [start]
+        while frontier:
+            u = frontier.pop()
+            for v in self._adj[u]:
+                if v not in reached:
+                    reached.add(v)
+                    frontier.append(v)
+        if len(reached) != len(self._nodes):
+            missing = sorted(set(self._nodes) - reached)
+            raise TopologyError(f"disconnected nodes: {missing[:5]}")
+
+    def p2p_connected(self, gpu_a: str, gpu_b: str) -> bool:
+        """True when two GPUs can exchange peer-to-peer.
+
+        P2P works along direct NVLink edges or across shared switches;
+        once the shortest path climbs to a socket (host bridge), a
+        machine or the network, traffic must be staged through host
+        memory.
+        """
+        if gpu_a == gpu_b:
+            return True
+        path = self.shortest_path(gpu_a, gpu_b)
+        return all(
+            self.node(name).kind in (NodeKind.GPU, NodeKind.SWITCH)
+            for name in path[1:-1]
+        )
+
+    def p2p_island_sizes(self, machine: str | None = None) -> list[int]:
+        """Sizes of maximal GPU groups with all-pairs P2P connectivity.
+
+        Used to decide whether a job's P2P requirement is attainable at
+        all on this hardware (TOPO-AWARE-P must not postpone forever
+        waiting for an allocation the machine cannot provide).
+        Computed greedily over P2P adjacency cliques per socket/switch
+        group; exact for the hierarchical machines modelled here.
+        """
+        sizes: list[int] = []
+        for sock in self.sockets(machine=machine):
+            gpus = self.gpus(socket=sock)
+            # group GPUs by mutual P2P reachability within the socket
+            remaining = set(gpus)
+            while remaining:
+                seed = min(remaining)
+                island = {seed}
+                for g in sorted(remaining - {seed}):
+                    if all(self.p2p_connected(g, member) for member in island):
+                        island.add(g)
+                sizes.append(len(island))
+                remaining -= island
+        return sorted(sizes, reverse=True)
+
+    def nvlink_pairs(self) -> list[tuple[str, str]]:
+        """GPU pairs connected by a *direct* NVLink edge (P2P capable)."""
+        pairs = []
+        for edge in self.edges():
+            if edge.spec.link_type is LinkType.NVLINK:
+                nu, nv = self.node(edge.u), self.node(edge.v)
+                if nu.kind is NodeKind.GPU and nv.kind is NodeKind.GPU:
+                    pairs.append(edge.key)
+        return sorted(pairs)
+
+    def to_networkx(self):
+        """Export to a :mod:`networkx` graph (for analysis/visualisation)."""
+        import networkx as nx
+
+        g = nx.Graph(name=self.name)
+        for node in self._nodes.values():
+            g.add_node(
+                node.name,
+                kind=node.kind.value,
+                machine=node.machine,
+                socket=node.socket,
+                gpu_index=node.gpu_index,
+            )
+        for edge in self.edges():
+            g.add_edge(
+                edge.u,
+                edge.v,
+                weight=edge.weight,
+                link_type=edge.spec.link_type.value,
+                bandwidth_gbs=edge.spec.bandwidth_gbs,
+            )
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TopologyGraph({self.name!r}, nodes={len(self._nodes)}, "
+            f"gpus={len(self.gpus())}, machines={len(self.machines())})"
+        )

@@ -1,0 +1,87 @@
+"""ASCII rendering of topology graphs (the Figure 1/7 pictures, textual).
+
+:func:`render_tree` draws the hierarchy with per-edge link annotations;
+:func:`render_gpu_distances` prints the GPU distance matrix the mapping
+algorithm optimises over.  Both back the ``repro topo`` CLI command and
+make custom topologies reviewable in logs and tests.
+"""
+
+from __future__ import annotations
+
+from repro.topology.graph import NodeKind, TopologyGraph
+from repro.topology.links import LinkType
+
+
+def _link_label(topo: TopologyGraph, u: str, v: str) -> str:
+    edge = topo.edge(u, v)
+    spec = edge.spec
+    if spec.link_type is LinkType.NVLINK:
+        return f"NVLink x{spec.lanes} ({spec.bandwidth_gbs:.0f} GB/s)"
+    if spec.link_type is LinkType.ONBOARD:
+        return "onboard"
+    return f"{spec.link_type.value} ({spec.bandwidth_gbs:.1f} GB/s)"
+
+
+def render_tree(topo: TopologyGraph) -> str:
+    """Hierarchical tree view with link annotations and peer links.
+
+    Children are ordered deterministically; direct GPU-GPU links are
+    listed under a trailing ``peer links`` section since they do not fit
+    a tree shape.
+    """
+    lines: list[str] = [topo.name]
+    roots = [n.name for n in topo.nodes(NodeKind.NETWORK)] or topo.machines()
+
+    def children_of(name: str) -> list[str]:
+        node = topo.node(name)
+        order = {
+            NodeKind.NETWORK: (NodeKind.MACHINE,),
+            NodeKind.MACHINE: (NodeKind.SOCKET, NodeKind.SWITCH),
+            NodeKind.SOCKET: (NodeKind.SWITCH, NodeKind.GPU),
+            NodeKind.SWITCH: (NodeKind.GPU,),
+            NodeKind.GPU: (),
+        }[node.kind]
+        out = [
+            nbr
+            for nbr in sorted(topo.neighbors(name))
+            if topo.node(nbr).kind in order
+        ]
+        return out
+
+    def walk(name: str, prefix: str, is_last: bool, parent: str | None) -> None:
+        connector = "`-- " if is_last else "|-- "
+        label = name if parent is None else (
+            f"{name}  [{_link_label(topo, parent, name)}]"
+        )
+        lines.append(f"{prefix}{connector}{label}" if parent is not None else f"{connector}{label}")
+        kids = children_of(name)
+        child_prefix = prefix + ("    " if is_last else "|   ")
+        for i, kid in enumerate(kids):
+            walk(kid, child_prefix if parent is not None else "    ", i == len(kids) - 1, name)
+
+    for i, root in enumerate(roots):
+        walk(root, "", i == len(roots) - 1, None)
+
+    peers = topo.nvlink_pairs()
+    if peers:
+        lines.append("peer links:")
+        for a, b in peers:
+            lines.append(f"  {a} <-> {b}  [{_link_label(topo, a, b)}]")
+    return "\n".join(lines)
+
+
+def render_gpu_distances(topo: TopologyGraph, machine: str | None = None) -> str:
+    """The pairwise GPU distance matrix (Eq. 3's raw material)."""
+    gpus = topo.gpus(machine=machine)
+    if not gpus:
+        return "(no GPUs)"
+    labels = [f"gpu{topo.gpu_index_of(g)}" for g in gpus]
+    width = max(5, max(len(l) for l in labels) + 1)
+    header = " " * width + "".join(f"{l:>{width}}" for l in labels)
+    lines = [header]
+    for g, label in zip(gpus, labels):
+        cells = "".join(
+            f"{topo.distance(g, h):>{width}.0f}" for h in gpus
+        )
+        lines.append(f"{label:>{width}}{cells}")
+    return "\n".join(lines)

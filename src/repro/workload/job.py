@@ -1,0 +1,181 @@
+"""Job specifications.
+
+A :class:`Job` is what the paper's scheduler receives from a JSON
+manifest: the neural network being trained, the per-GPU batch size, the
+number of requested GPUs, the minimum acceptable (normalised) utility
+that encodes its SLO, and arrival metadata.  Placement constraints
+follow Section 4.4: jobs are packed on one node unless they declare
+``anti_collocation`` (spread my tasks) and must set
+``single_node=False`` to be allowed to span machines.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+
+class ModelType(enum.Enum):
+    """Neural networks evaluated in the paper (Section 2)."""
+
+    ALEXNET = "alexnet"
+    CAFFEREF = "cafferef"
+    GOOGLENET = "googlenet"
+
+    @classmethod
+    def from_string(cls, value: str) -> "ModelType":
+        try:
+            return cls(value.strip().lower())
+        except ValueError:
+            aliases = {"a": cls.ALEXNET, "c": cls.CAFFEREF, "g": cls.GOOGLENET}
+            try:
+                return aliases[value.strip().lower()]
+            except KeyError:
+                raise ValueError(f"unknown model type {value!r}") from None
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class CommPattern(enum.Enum):
+    """How a job's tasks exchange data (Section 2).
+
+    Caffe-style data parallelism is a uniform all-to-all gradient
+    exchange; model parallelism partitions the network over GPUs so
+    traffic follows the layer pipeline (chain) or a ring all-reduce.
+    The paper evaluates data parallelism and calls topology-awareness
+    "even more critical" for model parallelism -- both are supported.
+    """
+
+    DATA_PARALLEL = "data-parallel"
+    MODEL_PARALLEL_CHAIN = "model-parallel-chain"
+    MODEL_PARALLEL_RING = "model-parallel-ring"
+
+    @classmethod
+    def from_string(cls, value: str) -> "CommPattern":
+        try:
+            return cls(value.strip().lower())
+        except ValueError:
+            raise ValueError(f"unknown communication pattern {value!r}") from None
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class BatchClass(enum.Enum):
+    """The four batch-size classes of the evaluation (tiny..big).
+
+    The integer value is the representative per-GPU batch size used
+    when only the class is known (the simulator's Binomial workload
+    generator draws classes, Section 5.3).
+    """
+
+    TINY = 1
+    SMALL = 4
+    MEDIUM = 32
+    BIG = 128
+
+    @property
+    def representative_batch(self) -> int:
+        return self.value
+
+    @classmethod
+    def from_string(cls, value: str) -> "BatchClass":
+        try:
+            return cls[value.strip().upper()]
+        except KeyError:
+            raise ValueError(f"unknown batch class {value!r}") from None
+
+    @classmethod
+    def from_index(cls, index: int) -> "BatchClass":
+        """Map the generator's Binomial draw 0..3 to tiny..big."""
+        order = (cls.TINY, cls.SMALL, cls.MEDIUM, cls.BIG)
+        if not 0 <= index < len(order):
+            raise ValueError(f"batch class index out of range: {index}")
+        return order[index]
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name.lower()
+
+
+def batch_class_of(batch_size: int) -> BatchClass:
+    """Classify a concrete per-GPU batch size into tiny/small/medium/big.
+
+    Thresholds bracket the paper's representative sizes (1, 4, 32, 128).
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch size must be >= 1, got {batch_size}")
+    if batch_size <= 2:
+        return BatchClass.TINY
+    if batch_size <= 8:
+        return BatchClass.SMALL
+    if batch_size <= 48:
+        return BatchClass.MEDIUM
+    return BatchClass.BIG
+
+
+@dataclass(frozen=True)
+class Job:
+    """An immutable job specification.
+
+    ``min_utility`` is the SLO threshold in [0, 1] against the
+    *normalised* utility of a placement (see
+    :mod:`repro.core.utility`); TOPO-AWARE-P postpones placements whose
+    utility falls below it.
+    """
+
+    job_id: str
+    model: ModelType
+    batch_size: int
+    num_gpus: int
+    min_utility: float = 0.0
+    arrival_time: float = 0.0
+    iterations: int = 4000
+    anti_collocation: bool = False
+    single_node: bool = True
+    p2p: bool | None = None  # None = derive from batch class (see requires_p2p)
+    comm_pattern: CommPattern = CommPattern.DATA_PARALLEL
+    tags: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.num_gpus < 1:
+            raise ValueError(f"{self.job_id}: num_gpus must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError(f"{self.job_id}: batch_size must be >= 1")
+        if not 0.0 <= self.min_utility <= 1.0:
+            raise ValueError(f"{self.job_id}: min_utility must be in [0, 1]")
+        if self.arrival_time < 0:
+            raise ValueError(f"{self.job_id}: arrival_time must be >= 0")
+        if self.iterations < 1:
+            raise ValueError(f"{self.job_id}: iterations must be >= 1")
+
+    @property
+    def batch_class(self) -> BatchClass:
+        return batch_class_of(self.batch_size)
+
+    @property
+    def requires_p2p(self) -> bool:
+        """Whether the job's SLO is only fully satisfied with P2P GPUs.
+
+        The paper's cloud mix includes jobs "requiring P2P to be fully
+        satisfied" (Section 5.2).  When not declared explicitly in the
+        manifest, multi-GPU jobs with communication-heavy batch classes
+        (tiny/small) are treated as P2P-requiring -- exactly the jobs
+        for which Figure 4 shows pack placement matters.
+        """
+        if self.p2p is not None:
+            return self.p2p and self.num_gpus > 1
+        return self.num_gpus > 1 and self.batch_class in (
+            BatchClass.TINY,
+            BatchClass.SMALL,
+        )
+
+    def with_arrival(self, arrival_time: float) -> "Job":
+        return replace(self, arrival_time=arrival_time)
+
+    def describe(self) -> str:
+        return (
+            f"{self.job_id}: {self.model} batch={self.batch_size}"
+            f" ({self.batch_class}) gpus={self.num_gpus}"
+            f" min_utility={self.min_utility} arrival={self.arrival_time:.2f}s"
+        )

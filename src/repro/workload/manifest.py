@@ -1,0 +1,136 @@
+"""JSON job manifests.
+
+The paper's prototype "continuously loads JSON files containing the
+necessary information about the submitted jobs" (Section 5.1).  This
+module defines that interchange format:
+
+.. code-block:: json
+
+    {
+      "jobs": [
+        {
+          "id": "job0",
+          "model": "alexnet",
+          "batch_size": 1,
+          "num_gpus": 2,
+          "min_utility": 0.5,
+          "arrival_time": 0.51,
+          "iterations": 4000,
+          "anti_collocation": false,
+          "single_node": true
+        }
+      ]
+    }
+
+Unknown keys are rejected so typos fail loudly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from repro.workload.job import CommPattern, Job, ModelType
+
+
+class ManifestError(ValueError):
+    """Raised for malformed manifests."""
+
+
+_REQUIRED = {"id", "model", "batch_size", "num_gpus"}
+_OPTIONAL = {
+    "min_utility": 0.0,
+    "arrival_time": 0.0,
+    "iterations": 4000,
+    "anti_collocation": False,
+    "single_node": True,
+    "p2p": None,
+    "comm_pattern": "data-parallel",
+    "tags": (),
+}
+
+
+def _job_from_dict(entry: dict[str, Any], index: int) -> Job:
+    if not isinstance(entry, dict):
+        raise ManifestError(f"job #{index}: expected an object, got {type(entry).__name__}")
+    missing = _REQUIRED - entry.keys()
+    if missing:
+        raise ManifestError(f"job #{index}: missing keys {sorted(missing)}")
+    unknown = entry.keys() - _REQUIRED - _OPTIONAL.keys()
+    if unknown:
+        raise ManifestError(f"job #{index}: unknown keys {sorted(unknown)}")
+    values = {**_OPTIONAL, **entry}
+    try:
+        return Job(
+            job_id=str(values["id"]),
+            model=ModelType.from_string(str(values["model"])),
+            batch_size=int(values["batch_size"]),
+            num_gpus=int(values["num_gpus"]),
+            min_utility=float(values["min_utility"]),
+            arrival_time=float(values["arrival_time"]),
+            iterations=int(values["iterations"]),
+            anti_collocation=bool(values["anti_collocation"]),
+            single_node=bool(values["single_node"]),
+            p2p=None if values["p2p"] is None else bool(values["p2p"]),
+            comm_pattern=CommPattern.from_string(str(values["comm_pattern"])),
+            tags=tuple(values["tags"]),
+        )
+    except (TypeError, ValueError) as exc:
+        raise ManifestError(f"job #{index}: {exc}") from exc
+
+
+def _job_to_dict(job: Job) -> dict[str, Any]:
+    out: dict[str, Any] = {
+        "id": job.job_id,
+        "model": job.model.value,
+        "batch_size": job.batch_size,
+        "num_gpus": job.num_gpus,
+        "min_utility": job.min_utility,
+        "arrival_time": job.arrival_time,
+        "iterations": job.iterations,
+    }
+    if job.anti_collocation:
+        out["anti_collocation"] = True
+    if not job.single_node:
+        out["single_node"] = False
+    if job.p2p is not None:
+        out["p2p"] = job.p2p
+    if job.comm_pattern is not CommPattern.DATA_PARALLEL:
+        out["comm_pattern"] = job.comm_pattern.value
+    if job.tags:
+        out["tags"] = list(job.tags)
+    return out
+
+
+def loads_manifest(text: str) -> list[Job]:
+    """Parse a manifest JSON string into jobs sorted by arrival time."""
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ManifestError(f"invalid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or "jobs" not in doc:
+        raise ManifestError('manifest must be an object with a "jobs" array')
+    jobs_raw = doc["jobs"]
+    if not isinstance(jobs_raw, list):
+        raise ManifestError('"jobs" must be an array')
+    jobs = [_job_from_dict(entry, i) for i, entry in enumerate(jobs_raw)]
+    ids = [j.job_id for j in jobs]
+    if len(set(ids)) != len(ids):
+        dupes = sorted({i for i in ids if ids.count(i) > 1})
+        raise ManifestError(f"duplicate job ids: {dupes}")
+    return sorted(jobs, key=lambda j: (j.arrival_time, j.job_id))
+
+
+def load_manifest(path: str | Path) -> list[Job]:
+    """Load a manifest file."""
+    return loads_manifest(Path(path).read_text())
+
+
+def dumps_manifest(jobs: Iterable[Job]) -> str:
+    """Serialise jobs to manifest JSON (round-trips with ``loads_manifest``)."""
+    return json.dumps({"jobs": [_job_to_dict(j) for j in jobs]}, indent=2) + "\n"
+
+
+def dump_manifest(jobs: Sequence[Job], path: str | Path) -> None:
+    Path(path).write_text(dumps_manifest(jobs))

@@ -1,0 +1,190 @@
+"""Shape tests for every figure generator (paper-vs-measured gates).
+
+These assertions encode the acceptance criteria of DESIGN.md: who wins,
+by roughly what factor, and where crossovers fall.  The benchmarks
+print the same data at full scale; here everything runs small and fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import (
+    fig3_breakdown,
+    fig4_pack_vs_spread,
+    fig5_nvlink_bandwidth,
+    fig6_collocation,
+    fig8_prototype,
+    fig9_sim_validation,
+    fig10_scenario1,
+    sec32_pcie_vs_nvlink,
+)
+from repro.sim.metrics import slo_violations
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return fig3_breakdown()
+
+    def test_alexnet_tiny_comm_dominates(self, data):
+        row = data[("alexnet", "tiny", "pack")]
+        assert row["comm_fraction"] > 0.5
+
+    def test_alexnet_big_compute_dominates(self, data):
+        row = data[("alexnet", "big", "pack")]
+        assert row["comm_fraction"] < 0.1
+
+    def test_alexnet_anchor_seconds(self, data):
+        # paper: ~1s compute at tiny, ~66s at big, ~2s comm (40 iters)
+        tiny = data[("alexnet", "tiny", "pack")]
+        big = data[("alexnet", "big", "pack")]
+        assert 0.5 < tiny["compute_s"] < 2.0
+        assert 55 < big["compute_s"] < 80
+        assert 1.5 < tiny["comm_s"] < 3.0
+
+    def test_comm_time_roughly_constant_across_batches(self, data):
+        comms = [
+            data[("alexnet", c, "pack")]["comm_s"]
+            for c in ("tiny", "small", "medium", "big")
+        ]
+        assert max(comms) / min(comms) < 1.5
+
+    def test_googlenet_low_comm_due_to_inception(self, data):
+        goog = data[("googlenet", "tiny", "pack")]["comm_fraction"]
+        alex = data[("alexnet", "tiny", "pack")]["comm_fraction"]
+        assert goog < 0.3 * alex
+
+    def test_spread_never_p2p(self, data):
+        for (model, batch, strategy), row in data.items():
+            if strategy == "spread":
+                assert not row["p2p"]
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return fig4_pack_vs_spread()
+
+    def test_alexnet_peak_speedup(self, data):
+        assert 1.2 <= max(data["alexnet"]) <= 1.4  # paper: up to ~1.30x
+
+    def test_parity_beyond_batch_16(self, data):
+        batches = data["batch_sizes"]
+        for model in ("alexnet", "cafferef", "googlenet"):
+            for b, s in zip(batches, data[model]):
+                if b >= 16:
+                    assert s < 1.1
+
+    def test_speedups_decline_with_batch(self, data):
+        for model in ("alexnet", "cafferef"):
+            vals = data[model]
+            assert vals == sorted(vals, reverse=True)
+
+    def test_googlenet_flat(self, data):
+        assert max(data["googlenet"]) < 1.06
+
+
+class TestFig5:
+    def test_series_ordering_and_levels(self):
+        data = fig5_nvlink_bandwidth()
+        means = {}
+        for batch, (times, gbs) in data.items():
+            active = gbs[gbs > 0]
+            means[batch] = active.mean() if len(active) else 0.0
+        assert means[1] > means[4] > means[64] > means[128]
+        assert means[1] > 20.0  # tiny batches saturate NVLink
+        assert means[128] < 6.0  # paper: "barely reaches ~6 GB/s"
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return fig6_collocation()
+
+    def test_paper_anchors(self, data):
+        assert data[("tiny", "tiny")] == pytest.approx(0.30, abs=0.04)
+        assert data[("big", "tiny")] == pytest.approx(0.24, abs=0.04)
+        assert data[("big", "small")] == pytest.approx(0.21, abs=0.04)
+        assert data[("big", "big")] < 0.05
+
+    def test_matrix_symmetric(self, data):
+        for (a, b), v in data.items():
+            assert data[(b, a)] == pytest.approx(v)
+
+    def test_monotone_in_batch_size(self, data):
+        order = ("tiny", "small", "medium", "big")
+        for row in order:
+            vals = [data[(row, col)] for col in order]
+            assert vals == sorted(vals, reverse=True)
+
+
+class TestSec32:
+    def test_nvlink_speedups_exceed_pcie(self):
+        data = sec32_pcie_vs_nvlink()
+        for nv, pc in zip(data["nvlink"], data["pcie"]):
+            assert nv > pc
+
+    def test_paper_anchor_values(self):
+        data = sec32_pcie_vs_nvlink()
+        assert data["nvlink"][0] == pytest.approx(1.27, abs=0.05)
+        assert data["pcie"][0] == pytest.approx(1.24, abs=0.05)
+        assert data["pcie"][2] == pytest.approx(1.10, abs=0.05)
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return fig8_prototype()
+
+    def test_topo_p_headline_speedup(self, results):
+        spans = {n: r.makespan for n, r in results.items()}
+        speedup = spans["BF"] / spans["TOPO-AWARE-P"]
+        assert 1.15 <= speedup <= 1.45  # paper: ~1.30x
+
+    def test_topo_policies_no_slo_violations(self, results):
+        assert slo_violations(results["TOPO-AWARE-P"].records) == []
+
+    def test_greedy_policies_violate_slos(self, results):
+        assert len(slo_violations(results["BF"].records)) >= 1
+
+    def test_topo_p_gives_job3_p2p(self, results):
+        rec = results["TOPO-AWARE-P"].record_of("job3")
+        assert rec.p2p
+
+
+class TestFig9:
+    def test_prototype_and_simulation_agree(self):
+        deltas = fig9_sim_validation()["deltas"]
+        for per_job in deltas.values():
+            assert max(per_job.values()) < 1e-6
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def data(self):
+        # smaller than the paper's scenario for test speed
+        return fig10_scenario1(n_jobs=40, n_machines=3, seed=42)
+
+    def test_topo_p_wins_on_qos_vs_bf(self, data):
+        means = {n: float(np.mean(v)) if len(v) else 0.0 for n, v in data["qos"].items()}
+        assert means["TOPO-AWARE-P"] <= means["BF"] + 1e-9
+
+    def test_topo_p_wins_with_waiting_included(self, data):
+        """Figure 10b: once queueing delay counts, the topology-aware
+        policies clearly beat both greedy baselines (FCFS's low raw
+        interference comes from serialising everything)."""
+        means = {
+            n: float(np.mean(v)) if len(v) else 0.0
+            for n, v in data["total"].items()
+        }
+        assert means["TOPO-AWARE-P"] <= means["BF"] + 1e-9
+        assert means["TOPO-AWARE-P"] <= means["FCFS"] + 1e-9
+
+    def test_all_jobs_complete(self, data):
+        for name, result in data["results"].items():
+            if name == "FCFS":
+                continue  # FIFO blocking may starve under adversarial mixes
+            assert all(r.finished_at is not None for r in result.records)
+
+    def test_no_slo_violations_for_topo_p(self, data):
+        assert slo_violations(data["results"]["TOPO-AWARE-P"].records) == []

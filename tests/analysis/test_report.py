@@ -1,0 +1,53 @@
+"""Tests for the markdown reproduction report."""
+
+import re
+
+import pytest
+
+from repro.analysis.report import generate_report, write_report
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    return generate_report()
+
+
+class TestReport:
+    def test_has_every_section(self, report_text):
+        for heading in (
+            "# Reproduction report",
+            "## Pack vs spread (Figure 4)",
+            "## Execution breakdown (Figure 3)",
+            "## Co-location interference (Figure 6)",
+            "## NVLink vs PCIe machines (Section 3.2)",
+            "## Prototype scenario (Table 1 / Figure 8)",
+            "## Scenario 1 (Figure 10)",
+        ):
+            assert heading in report_text
+
+    def test_headline_numbers_in_expected_ranges(self, report_text):
+        peak = float(re.search(r"Measured peak: \*\*([\d.]+)x\*\*", report_text).group(1))
+        assert 1.2 <= peak <= 1.4
+        speedup = float(
+            re.search(r"speedup over BF: \*\*([\d.]+)x\*\*", report_text).group(1)
+        )
+        assert 1.15 <= speedup <= 1.45
+        tiny = int(
+            re.search(r"tiny\+tiny slowdown: \*\*(\d+)%\*\*", report_text).group(1)
+        )
+        assert 26 <= tiny <= 34
+
+    def test_contains_gantt_chart(self, report_text):
+        assert "[TOPO-AWARE-P]" in report_text
+        assert "legend:" in report_text
+
+    def test_write_report(self, tmp_path, report_text):
+        path = write_report(tmp_path / "report.md")
+        assert path.read_text().startswith("# Reproduction report")
+
+    def test_cli_report_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["report", "--out", str(tmp_path / "r.md")]) == 0
+        assert (tmp_path / "r.md").exists()
+        assert "report written" in capsys.readouterr().out

@@ -1,0 +1,56 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.placement import PlacementEngine
+from repro.topology.allocation import AllocationState
+from repro.topology.builders import cluster, dgx1, power8_minsky, power8_pcie_k80
+from repro.workload.job import Job, ModelType
+from repro.workload.profiles import default_database
+
+
+@pytest.fixture
+def minsky():
+    return power8_minsky()
+
+
+@pytest.fixture
+def dgx():
+    return dgx1()
+
+
+@pytest.fixture
+def pcie_machine():
+    return power8_pcie_k80()
+
+
+@pytest.fixture
+def small_cluster():
+    return cluster(3)
+
+
+@pytest.fixture
+def alloc(minsky):
+    return AllocationState(minsky)
+
+
+@pytest.fixture
+def engine(minsky, alloc):
+    return PlacementEngine(minsky, alloc)
+
+
+@pytest.fixture(scope="session")
+def profiles():
+    return default_database()
+
+
+def make_job(
+    job_id: str = "j",
+    model: ModelType = ModelType.ALEXNET,
+    batch_size: int = 1,
+    num_gpus: int = 2,
+    **kwargs,
+) -> Job:
+    return Job(job_id, model, batch_size, num_gpus, **kwargs)

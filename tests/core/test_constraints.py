@@ -1,0 +1,110 @@
+"""Tests for host filtering (filterHostsByConstraints)."""
+
+import pytest
+
+from repro.core.constraints import (
+    CandidatePool,
+    filter_hosts,
+    machine_bus_capacity,
+)
+from repro.topology.allocation import AllocationState
+from repro.topology.builders import cluster, power8_minsky
+
+from tests.conftest import make_job
+
+
+class TestCapacityFilter:
+    def test_empty_machine_eligible(self, minsky, alloc):
+        pools = filter_hosts(minsky, alloc, make_job(num_gpus=2))
+        assert len(pools) == 1
+        assert len(pools[0].gpus) == 4
+
+    def test_insufficient_gpus_filtered(self, minsky, alloc):
+        alloc.allocate("x", ["m0/gpu0", "m0/gpu1", "m0/gpu2"])
+        assert filter_hosts(minsky, alloc, make_job(num_gpus=2)) == []
+
+    def test_pool_contains_only_free_gpus(self, minsky, alloc):
+        alloc.allocate("x", ["m0/gpu0"])
+        pools = filter_hosts(minsky, alloc, make_job(num_gpus=2))
+        assert "m0/gpu0" not in pools[0].gpus
+
+    def test_tightest_machine_first(self):
+        topo = cluster(2)
+        alloc = AllocationState(topo)
+        alloc.allocate("x", ["m0/gpu0", "m0/gpu1"])
+        pools = filter_hosts(topo, alloc, make_job(num_gpus=2))
+        assert pools[0].machines == ("m0",)  # 2 free, tighter than m1's 4
+
+
+class TestBandwidthConstraint:
+    def test_saturated_machine_filtered(self, minsky, alloc, profiles):
+        """t_bw <= p_bw: enough tiny-batch jobs exhaust the bus budget."""
+        capacity = machine_bus_capacity(minsky, "m0")
+        co = {}
+        demand_each = profiles.for_job(make_job(batch_size=1)).avg_demand_gbs
+        n_needed = int(capacity / demand_each) + 1
+        # synthetic co-runners that each burn one GPU's worth of demand
+        topo2 = power8_minsky("m0")
+        for i in range(2):
+            job = make_job(f"busy{i}", batch_size=1, num_gpus=1)
+            alloc.allocate(f"busy{i}", [f"m0/gpu{i}"])
+            co[f"busy{i}"] = (job, frozenset([f"m0/gpu{i}"]))
+        if n_needed <= 2:
+            assert filter_hosts(minsky, alloc, make_job(batch_size=1)) == []
+        else:
+            # capacity still available: machine stays eligible
+            assert filter_hosts(minsky, alloc, make_job(batch_size=1)) != []
+
+    def test_bus_capacity_value(self, minsky):
+        # 4 GPUs x dual NVLink uplink (40 GB/s)
+        assert machine_bus_capacity(minsky, "m0") == pytest.approx(160.0)
+
+
+class TestAntiCollocation:
+    def test_needs_distinct_sockets(self, minsky, alloc):
+        alloc.allocate("x", ["m0/gpu2", "m0/gpu3"])  # socket1 gone
+        job = make_job(num_gpus=2, anti_collocation=True)
+        assert filter_hosts(minsky, alloc, job) == []
+
+    def test_eligible_with_free_domains(self, minsky, alloc):
+        job = make_job(num_gpus=2, anti_collocation=True)
+        assert len(filter_hosts(minsky, alloc, job)) == 1
+
+
+class TestSpanningPools:
+    def test_single_node_job_never_spans(self, small_cluster):
+        alloc = AllocationState(small_cluster)
+        for m in small_cluster.machines():
+            alloc.allocate(f"fill-{m}", small_cluster.gpus(machine=m)[:3])
+        job = make_job(num_gpus=2, single_node=True)
+        assert filter_hosts(small_cluster, alloc, job) == []
+
+    def test_multi_node_job_gets_spanning_pool(self, small_cluster):
+        alloc = AllocationState(small_cluster)
+        for m in small_cluster.machines():
+            alloc.allocate(f"fill-{m}", small_cluster.gpus(machine=m)[:3])
+        job = make_job(num_gpus=2, single_node=False)
+        pools = filter_hosts(small_cluster, alloc, job)
+        assert len(pools) == 1 and pools[0].spans_machines
+        assert len(pools[0].gpus) >= 2
+
+    def test_spanning_pool_not_offered_when_one_machine_fits(self, small_cluster):
+        alloc = AllocationState(small_cluster)
+        job = make_job(num_gpus=2, single_node=False)
+        pools = filter_hosts(small_cluster, alloc, job)
+        assert all(not p.spans_machines for p in pools)
+
+    def test_cluster_truly_full_returns_empty(self, small_cluster):
+        alloc = AllocationState(small_cluster)
+        for m in small_cluster.machines():
+            alloc.allocate(f"fill-{m}", small_cluster.gpus(machine=m))
+        job = make_job(num_gpus=2, single_node=False)
+        assert filter_hosts(small_cluster, alloc, job) == []
+
+
+class TestCandidatePool:
+    def test_spans_machines_flag(self):
+        single = CandidatePool(machines=("m0",), gpus=("m0/gpu0",))
+        multi = CandidatePool(machines=("m0", "m1"), gpus=("m0/gpu0", "m1/gpu0"))
+        assert not single.spans_machines
+        assert multi.spans_machines

@@ -1,0 +1,128 @@
+"""Edge-case coverage for the placement engine on clusters."""
+
+import pytest
+
+from repro.core.placement import PlacementEngine
+from repro.core.utility import UtilityParams
+from repro.perf.calibration import MachineKind
+from repro.perf.model import PerformanceModel
+from repro.topology.allocation import AllocationState
+from repro.topology.builders import cluster, power8_minsky, power8_pcie_k80
+
+from tests.conftest import make_job
+
+
+class TestPoolCapping:
+    def test_max_pools_limits_drb_evaluations(self, monkeypatch):
+        """With many eligible machines only max_pools get a full DRB
+        evaluation (large-cluster tractability)."""
+        topo = cluster(24)
+        engine = PlacementEngine(topo, AllocationState(topo))
+        calls = []
+        original = engine._solve_pool
+
+        def counting(job, graph, pool, co):
+            calls.append(pool.machines)
+            return original(job, graph, pool, co)
+
+        monkeypatch.setattr(engine, "_solve_pool", counting)
+        # big-batch job: no placement reaches utility 1.0's early break?
+        # it will -- an empty machine is perfect; so force imperfection
+        # by occupying one GPU everywhere
+        for m in topo.machines():
+            engine.alloc.allocate(f"sq-{m}", [topo.gpus(machine=m)[1]])
+        sol = engine.propose(make_job(num_gpus=2, batch_size=1))
+        assert sol is not None
+        assert len(calls) <= engine.max_pools
+
+    def test_early_break_on_perfect_placement(self, monkeypatch):
+        topo = cluster(24)
+        engine = PlacementEngine(topo, AllocationState(topo))
+        calls = []
+        original = engine._solve_pool
+
+        def counting(job, graph, pool, co):
+            calls.append(pool.machines)
+            return original(job, graph, pool, co)
+
+        monkeypatch.setattr(engine, "_solve_pool", counting)
+        sol = engine.propose(make_job(num_gpus=2, batch_size=1))
+        assert sol.utility == pytest.approx(1.0)
+        assert len(calls) == 1  # first empty machine is already perfect
+
+
+class TestHeterogeneousClusters:
+    @pytest.fixture
+    def hetero(self):
+        def builder(mid):
+            return power8_minsky(mid) if mid == "m0" else power8_pcie_k80(mid)
+
+        return cluster(2, builder)
+
+    def test_machine_kinds_inferred_per_machine(self, hetero):
+        perf = PerformanceModel(hetero)
+        assert perf.machine_kind("m0") is MachineKind.NVLINK_P100
+        assert perf.machine_kind("m1") is MachineKind.PCIE_K80
+
+    def test_same_job_slower_on_k80_machine(self, hetero):
+        perf = PerformanceModel(hetero)
+        job = make_job(num_gpus=2, batch_size=8)
+        fast = perf.solo_exec_time(job, hetero.gpus(machine="m0")[:2])
+        slow = perf.solo_exec_time(job, hetero.gpus(machine="m1")[:2])
+        assert slow > 2 * fast
+
+    def test_engine_places_on_best_available(self, hetero):
+        """Utility is topology-relative, so both machines can score
+        well; the engine must at least produce a valid P2P placement."""
+        engine = PlacementEngine(hetero, AllocationState(hetero))
+        sol = engine.propose(make_job(num_gpus=2, batch_size=1))
+        assert sol is not None and sol.p2p
+
+
+class TestUtilityParamPlumbing:
+    def test_custom_params_change_decisions(self, minsky):
+        alloc = AllocationState(minsky)
+        alloc.allocate("noisy", ["m0/gpu0"])
+        noisy = make_job("noisy", batch_size=1, num_gpus=1)
+        co = {"noisy": (noisy, frozenset(["m0/gpu0"]))}
+        frag_only = PlacementEngine(
+            minsky,
+            alloc,
+            params=UtilityParams(alpha_cc=0.0, alpha_b=0.0, alpha_d=1.0),
+        )
+        sol = frag_only.propose(make_job("j", num_gpus=1, batch_size=1), co)
+        # pure fragmentation objective packs next to the noisy job
+        assert sol.gpus == ("m0/gpu1",)
+
+    def test_interference_max_controls_sensitivity(self, minsky):
+        alloc = AllocationState(minsky)
+        engine = PlacementEngine(
+            minsky, alloc, params=UtilityParams(interference_max=1.01)
+        )
+        noisy = make_job("noisy", batch_size=1, num_gpus=2)
+        alloc.allocate("noisy", ["m0/gpu0", "m0/gpu1"])
+        co = {"noisy": (noisy, frozenset(["m0/gpu0", "m0/gpu1"]))}
+        sol = engine.propose(make_job("j", num_gpus=2, batch_size=1), co)
+        # with a hair-trigger normaliser, even residual DRAM contention
+        # saturates the interference term; utility still in [0, 1]
+        assert 0.0 <= sol.utility <= 1.0
+
+
+class TestDegenerateInputs:
+    def test_engine_on_single_gpu_machine(self):
+        from repro.topology.builders import machine
+
+        topo = machine("solo", sockets=1, gpus_per_socket=1)
+        engine = PlacementEngine(topo, AllocationState(topo))
+        sol = engine.propose(make_job(num_gpus=1))
+        assert sol.gpus == ("solo/gpu0",)
+        assert sol.utility > 0.5
+
+    def test_reference_bandwidth_fallback(self):
+        from repro.topology.builders import machine
+
+        topo = machine("solo", sockets=1, gpus_per_socket=1)
+        engine = PlacementEngine(topo, AllocationState(topo))
+        # single GPU -> no pairs -> fallback reference bandwidth of 1.0
+        graph = engine.job_graph(make_job(num_gpus=1))
+        assert graph.n_edges() == 0

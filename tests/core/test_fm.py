@@ -1,0 +1,180 @@
+"""Tests for the Fiduccia-Mattheyses bipartitioner."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.fm import affinity_from_distance, cut_weight, fm_bipartition
+
+
+def clique(n: int, w: float = 1.0) -> dict:
+    return {
+        i: {j: w for j in range(n) if j != i}
+        for i in range(n)
+    }
+
+
+def two_clusters(k: int, intra: float = 10.0, inter: float = 0.1) -> tuple[list, dict]:
+    """2k vertices in two dense clusters joined by weak edges."""
+    vertices = list(range(2 * k))
+    aff: dict = {v: {} for v in vertices}
+    for group in (range(k), range(k, 2 * k)):
+        for i in group:
+            for j in group:
+                if i != j:
+                    aff[i][j] = intra
+    for i in range(k):
+        aff[i][i + k] = inter
+        aff[i + k][i] = inter
+    return vertices, aff
+
+
+class TestBasics:
+    def test_two_vertices(self):
+        result = fm_bipartition([0, 1], {0: {1: 1.0}, 1: {0: 1.0}})
+        assert sorted(result.side0 + result.side1) == [0, 1]
+        assert len(result.side0) == len(result.side1) == 1
+
+    def test_too_few_vertices_rejected(self):
+        with pytest.raises(ValueError):
+            fm_bipartition([0], {})
+
+    def test_finds_natural_cut(self):
+        vertices, aff = two_clusters(4)
+        # adversarial initial: interleaved
+        initial = (vertices[::2], vertices[1::2])
+        result = fm_bipartition(vertices, aff, initial=initial)
+        sides = {frozenset(result.side0), frozenset(result.side1)}
+        assert frozenset(range(4)) in sides
+        assert result.cut == pytest.approx(4 * 0.1)
+
+    def test_never_worse_than_initial(self):
+        vertices, aff = two_clusters(3)
+        initial = (vertices[::2], vertices[1::2])
+        initial_cut = cut_weight(aff, set(initial[0]), set(initial[1]))
+        result = fm_bipartition(vertices, aff, initial=initial)
+        assert result.cut <= initial_cut + 1e-9
+
+    def test_deterministic(self):
+        vertices, aff = two_clusters(4)
+        a = fm_bipartition(vertices, aff)
+        b = fm_bipartition(vertices, aff)
+        assert a.side0 == b.side0 and a.side1 == b.side1
+
+    def test_side_of(self):
+        result = fm_bipartition([0, 1], {0: {1: 1.0}, 1: {0: 1.0}})
+        assert result.side_of(result.side0[0]) == 0
+        with pytest.raises(KeyError):
+            result.side_of(99)
+
+
+class TestCapacities:
+    def test_capacity_respected(self):
+        vertices, aff = two_clusters(3)
+        result = fm_bipartition(vertices, aff, capacities=(4, 4))
+        assert len(result.side0) <= 4 and len(result.side1) <= 4
+
+    def test_both_sides_nonempty(self):
+        # even on a uniform clique, no side may be emptied
+        result = fm_bipartition(list(range(5)), clique(5))
+        assert len(result.side0) >= 1 and len(result.side1) >= 1
+
+    def test_infeasible_capacities_rejected(self):
+        with pytest.raises(ValueError, match="capacities"):
+            fm_bipartition([0, 1, 2], clique(3), capacities=(1, 1))
+
+    def test_initial_exceeding_capacity_rejected(self):
+        with pytest.raises(ValueError, match="exceed"):
+            fm_bipartition(
+                [0, 1, 2],
+                clique(3),
+                initial=([0, 1, 2], []),
+                capacities=(2, 2),
+            )
+
+
+class TestValidation:
+    def test_asymmetric_affinity_rejected(self):
+        with pytest.raises(ValueError, match="symmetric"):
+            fm_bipartition([0, 1], {0: {1: 1.0}, 1: {0: 2.0}})
+
+    def test_negative_affinity_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            fm_bipartition([0, 1], {0: {1: -1.0}, 1: {0: -1.0}})
+
+    def test_unknown_vertex_in_affinity_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            fm_bipartition([0, 1], {0: {9: 1.0}, 9: {0: 1.0}})
+
+    def test_incomplete_initial_rejected(self):
+        with pytest.raises(ValueError, match="cover"):
+            fm_bipartition([0, 1, 2], clique(3), initial=([0], [1]))
+
+    def test_overlapping_initial_rejected(self):
+        with pytest.raises(ValueError, match="both"):
+            fm_bipartition([0, 1], {0: {1: 1.0}, 1: {0: 1.0}}, initial=([0, 1], [1]))
+
+
+class TestAffinityFromDistance:
+    def test_inverse_distance(self):
+        aff = affinity_from_distance([0, 1], {(0, 1): 4.0})
+        assert aff[0][1] == pytest.approx(0.25)
+        assert aff[1][0] == pytest.approx(0.25)
+
+    def test_missing_pair_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            affinity_from_distance([0, 1, 2], {(0, 1): 1.0})
+
+    def test_non_positive_distance_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            affinity_from_distance([0, 1], {(0, 1): 0.0})
+
+
+@st.composite
+def random_graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=12))
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            min_size=n * (n - 1) // 2,
+            max_size=n * (n - 1) // 2,
+        )
+    )
+    aff: dict = {i: {} for i in range(n)}
+    idx = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            w = weights[idx]
+            idx += 1
+            if w > 0:
+                aff[i][j] = w
+                aff[j][i] = w
+    return list(range(n)), aff
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(random_graphs())
+    def test_partition_is_exact_cover(self, graph):
+        vertices, aff = graph
+        result = fm_bipartition(vertices, aff)
+        assert sorted(result.side0 + result.side1) == sorted(vertices)
+        assert not set(result.side0) & set(result.side1)
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_graphs())
+    def test_cut_not_worse_than_default_initial(self, graph):
+        vertices, aff = graph
+        half = (len(vertices) + 1) // 2
+        init0, init1 = vertices[:half], vertices[half:]
+        initial_cut = cut_weight(aff, set(init0), set(init1))
+        result = fm_bipartition(vertices, aff)
+        assert result.cut <= initial_cut + 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(random_graphs())
+    def test_reported_cut_is_consistent(self, graph):
+        vertices, aff = graph
+        result = fm_bipartition(vertices, aff)
+        assert result.cut == pytest.approx(
+            cut_weight(aff, set(result.side0), set(result.side1))
+        )

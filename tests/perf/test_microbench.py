@@ -1,0 +1,73 @@
+"""Tests for the artificial-load interference profiling (Section 4.2)."""
+
+import pytest
+
+from repro.perf.microbench import (
+    ArtificialLoad,
+    DEFAULT_LOADS,
+    measure_interference_table,
+    table_to_text,
+)
+from repro.topology.builders import power8_minsky
+from repro.workload.job import BatchClass
+
+
+class TestArtificialLoad:
+    def test_intensity_maps_to_batch_class(self):
+        assert ArtificialLoad("x", 1.0).as_job().batch_class is BatchClass.TINY
+        assert ArtificialLoad("x", 0.6).as_job().batch_class is BatchClass.SMALL
+        assert ArtificialLoad("x", 0.3).as_job().batch_class is BatchClass.MEDIUM
+        assert ArtificialLoad("x", 0.1).as_job().batch_class is BatchClass.BIG
+
+    def test_duration_controls_iterations(self):
+        short = ArtificialLoad("s", 1.0, duration_s=50.0).as_job()
+        long = ArtificialLoad("l", 1.0, duration_s=500.0).as_job()
+        assert long.iterations == pytest.approx(10 * short.iterations, rel=0.02)
+
+    def test_tagged_as_artificial(self):
+        assert "artificial-load" in ArtificialLoad("x", 0.5).as_job().tags
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArtificialLoad("x", 1.5)
+        with pytest.raises(ValueError):
+            ArtificialLoad("x", 0.5, num_gpus=0)
+
+
+class TestMeasurementCampaign:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return measure_interference_table(
+            power8_minsky,
+            probe_batches={"tiny": 1, "big": 128},
+            iterations=100,
+        )
+
+    def test_covers_all_cells(self, table):
+        probes = {p for p, _ in table}
+        loads = {l for _, l in table}
+        assert probes == {"tiny", "big"}
+        assert loads == {l.name for l in DEFAULT_LOADS}
+
+    def test_idle_load_measures_zero(self, table):
+        assert table[("tiny", "idle")] == pytest.approx(0.0, abs=1e-9)
+        assert table[("big", "idle")] == pytest.approx(0.0, abs=1e-9)
+
+    def test_slowdown_grows_with_intensity(self, table):
+        row = [table[("tiny", name)] for name in ("idle", "light", "medium", "heavy")]
+        assert row == sorted(row)
+        assert row[-1] > 0.15  # heavy load really hurts a tiny probe
+
+    def test_reproduces_fig6_anchor_empirically(self, table):
+        """The measured tiny-probe/heavy-load cell is the empirical
+        twin of Figure 6's tiny+tiny ~30% -- it must land nearby."""
+        assert table[("tiny", "heavy")] == pytest.approx(0.30, abs=0.06)
+
+    def test_big_probe_barely_suffers(self, table):
+        assert table[("big", "heavy")] < 0.08
+
+    def test_formatting(self, table):
+        text = table_to_text(table)
+        assert "probe/load" in text
+        assert "tiny" in text and "heavy" in text
+        assert len(text.splitlines()) == 3  # header + 2 probes

@@ -1,0 +1,91 @@
+"""Additional performance-model coverage: bigger jobs, DGX quads,
+cross-checks between the analytic and collective formulations."""
+
+import pytest
+
+from repro.perf.calibration import DEFAULT_CALIBRATION
+from repro.perf.collectives import best_ring_order, ring_allreduce_time
+from repro.perf.model import PerformanceModel, Placement, allreduce_scale
+from repro.topology.builders import dgx1, dgx2, power8_minsky
+from repro.workload.job import Job, ModelType
+
+from tests.conftest import make_job
+
+
+class TestDGXQuads:
+    def test_quad_breakdown_on_nvlink_clique(self):
+        topo = dgx1()
+        perf = PerformanceModel(topo)
+        job = make_job(num_gpus=4, batch_size=1)
+        quad = topo.gpus()[:4]
+        bd = perf.iteration_breakdown(job, quad)
+        assert bd.p2p
+        # worst pair inside the socket clique is single-lane NVLink
+        expected = allreduce_scale(4) * 2.0 / 20.0
+        assert bd.comm_s == pytest.approx(expected)
+
+    def test_cross_socket_quad_slower(self):
+        topo = dgx1()
+        perf = PerformanceModel(topo)
+        job = make_job(num_gpus=4, batch_size=1)
+        clique = topo.gpus()[:4]
+        straddle = ["m0/gpu0", "m0/gpu1", "m0/gpu4", "m0/gpu6"]
+        assert perf.iteration_time(job, straddle) > perf.iteration_time(job, clique)
+
+    def test_worst_pair_model_upper_bounds_best_ring(self):
+        """The calibrated worst-pair cost is at least the best ring's:
+        NCCL can only do better than the synchronous bound."""
+        topo = dgx1()
+        perf = PerformanceModel(topo)
+        job = make_job(num_gpus=4, batch_size=1)
+        quad = topo.gpus()[:4]
+        bd = perf.iteration_breakdown(job, quad)
+        ring = ring_allreduce_time(topo, best_ring_order(topo, quad), 2.0)
+        assert bd.comm_s >= ring - 1e-9
+
+
+class TestDGX2Limit:
+    def test_eight_gpu_job_faster_on_dgx2_than_dgx1(self):
+        """NVSwitch removes the cross-socket penalty entirely."""
+        j = make_job(num_gpus=8, batch_size=1)
+        t1 = PerformanceModel(dgx1()).iteration_time(j, dgx1().gpus())
+        t2 = PerformanceModel(dgx2()).iteration_time(j, dgx2().gpus()[:8])
+        assert t2 < t1
+
+
+class TestCalibrationCrossChecks:
+    def test_comm_fraction_agrees_with_profiles(self, profiles):
+        """The profile database and a fresh model evaluation must agree
+        (the database is built from the same model)."""
+        topo = power8_minsky()
+        perf = PerformanceModel(topo)
+        for model in ModelType:
+            job = Job("probe", model, 1, 2)
+            bd = perf.iteration_breakdown(
+                job, perf.placement_gpus(job, Placement.PACK)
+            )
+            from repro.workload.job import BatchClass
+
+            profile = profiles.get(model, BatchClass.TINY)
+            assert bd.comm_fraction == pytest.approx(profile.comm_fraction)
+
+    def test_no_p2p_penalty_only_hits_routed_pairs(self):
+        topo = power8_minsky()
+        perf = PerformanceModel(topo)
+        assert perf.pair_bandwidth("m0/gpu0", "m0/gpu1") == pytest.approx(40.0)
+        routed = perf.pair_bandwidth("m0/gpu0", "m0/gpu2")
+        assert routed == pytest.approx(
+            38.4 * DEFAULT_CALIBRATION.no_p2p_penalty
+        )
+
+    def test_iteration_time_additivity(self):
+        """Total iteration time is exactly compute + comm -- no hidden
+        terms (important for anyone recalibrating)."""
+        topo = power8_minsky()
+        perf = PerformanceModel(topo)
+        job = make_job(num_gpus=2, batch_size=16)
+        gpus = ["m0/gpu0", "m0/gpu1"]
+        bd = perf.iteration_breakdown(job, gpus)
+        assert perf.iteration_time(job, gpus) == pytest.approx(
+            bd.compute_s + bd.comm_s
+        )

@@ -1,0 +1,156 @@
+"""Tests for the Section 4.2 profile predictor."""
+
+import numpy as np
+import pytest
+
+from repro.perf.model import PerformanceModel, Placement
+from repro.perf.prediction import KNNRegressor, ProfilePredictor, RegressionTree
+from repro.topology.builders import power8_minsky
+from repro.workload.job import BatchClass, Job, ModelType
+
+
+class TestRegressionTree:
+    def test_fits_constant(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        tree = RegressionTree().fit(X, np.array([5.0, 5.0, 5.0]))
+        assert tree.predict_one([1.5]) == 5.0
+        assert tree.depth() == 0
+
+    def test_splits_a_step_function(self):
+        X = np.array([[x] for x in range(10)], dtype=float)
+        y = np.array([0.0] * 5 + [10.0] * 5)
+        tree = RegressionTree(max_depth=2).fit(X, y)
+        assert tree.predict_one([1.0]) == pytest.approx(0.0)
+        assert tree.predict_one([8.0]) == pytest.approx(10.0)
+
+    def test_respects_max_depth(self):
+        X = np.array([[x] for x in range(16)], dtype=float)
+        y = np.arange(16, dtype=float)
+        tree = RegressionTree(max_depth=2).fit(X, y)
+        assert tree.depth() <= 2
+
+    def test_min_samples_leaf(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0.0, 0.0, 0.0, 100.0])
+        tree = RegressionTree(max_depth=5, min_samples_leaf=2).fit(X, y)
+        # the lone outlier cannot get its own leaf
+        assert tree.predict_one([3.0]) < 100.0
+
+    def test_multifeature_split_selection(self):
+        # y depends only on feature 1
+        rng = np.random.default_rng(0)
+        X = np.column_stack([rng.random(40), np.repeat([0.0, 1.0], 20)])
+        y = X[:, 1] * 7.0
+        tree = RegressionTree(max_depth=1).fit(X, y)
+        assert tree.predict_one([0.5, 0.0]) == pytest.approx(0.0, abs=1e-9)
+        assert tree.predict_one([0.5, 1.0]) == pytest.approx(7.0, abs=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RegressionTree(max_depth=0)
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.zeros((2, 2)), np.zeros(3))
+        with pytest.raises(RuntimeError):
+            RegressionTree().predict_one([0.0])
+
+
+class TestKNN:
+    def test_exact_match_returns_label(self):
+        X = np.array([[0.0, 0.0], [1.0, 1.0]])
+        knn = KNNRegressor(k=2).fit(X, np.array([1.0, 9.0]))
+        assert knn.predict_one([0.0, 0.0]) == 1.0
+
+    def test_interpolates_between_neighbours(self):
+        X = np.array([[0.0], [2.0]])
+        knn = KNNRegressor(k=2).fit(X, np.array([0.0, 10.0]))
+        assert knn.predict_one([1.0]) == pytest.approx(5.0)
+
+    def test_constant_feature_does_not_break_standardisation(self):
+        # feature 1 has zero variance; the std guard must not divide by 0
+        X = np.array([[0.0, 5.0], [1.0, 5.0], [10.0, 5.0]])
+        knn = KNNRegressor(k=1).fit(X, np.array([0.0, 1.0, 2.0]))
+        assert knn.predict_one([0.9, 5.0]) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KNNRegressor(k=0)
+        with pytest.raises(RuntimeError):
+            KNNRegressor().predict_one([0.0])
+
+
+@pytest.fixture(scope="module", params=["tree", "knn"])
+def predictor(request):
+    return ProfilePredictor(backend=request.param)
+
+
+class TestProfilePredictor:
+    def test_recovers_known_profiles(self, predictor, profiles):
+        """At the training points the prediction must be close."""
+        for model in ModelType:
+            for bc in BatchClass:
+                known = profiles.get(model, bc)
+                pred = predictor.predict(model, bc.representative_batch)
+                assert pred.solo_iter_pack_s == pytest.approx(
+                    known.solo_iter_pack_s, rel=0.35
+                )
+                assert pred.sensitivity == pytest.approx(
+                    known.sensitivity, abs=0.15
+                )
+
+    def test_interpolates_unseen_batch_sizes(self, predictor, profiles):
+        """Batch 12 sits between the small (4) and medium (32) classes;
+        the prediction must land between their profiles."""
+        small = profiles.get(ModelType.ALEXNET, BatchClass.SMALL)
+        medium = profiles.get(ModelType.ALEXNET, BatchClass.MEDIUM)
+        pred = predictor.predict(ModelType.ALEXNET, 12)
+        lo = min(small.solo_iter_pack_s, medium.solo_iter_pack_s)
+        hi = max(small.solo_iter_pack_s, medium.solo_iter_pack_s)
+        assert lo * 0.8 <= pred.solo_iter_pack_s <= hi * 1.2
+        assert medium.sensitivity - 0.1 <= pred.sensitivity <= small.sensitivity + 0.1
+
+    def test_prediction_tracks_true_model_direction(self, predictor):
+        """Predicted iteration times must grow with batch size like the
+        true performance model does."""
+        preds = [
+            predictor.predict(ModelType.ALEXNET, b).solo_iter_pack_s
+            for b in (1, 8, 64)
+        ]
+        assert preds[0] < preds[-1]
+
+    def test_profile_invariants(self, predictor):
+        for b in (1, 3, 12, 50, 100):
+            p = predictor.predict(ModelType.CAFFEREF, b)
+            assert p.solo_iter_spread_s >= p.solo_iter_pack_s
+            assert 0.0 <= p.comm_fraction <= 1.0
+            assert 0.0 <= p.sensitivity <= 1.0
+            assert 0.0 <= p.pressure <= 1.0
+            assert p.avg_demand_gbs >= 0.0
+
+    def test_predict_for_job(self, predictor):
+        job = Job("j", ModelType.GOOGLENET, 12, 2)
+        p = predictor.predict_for_job(job)
+        assert p.model is ModelType.GOOGLENET
+        assert p.batch_class is BatchClass.MEDIUM
+
+    def test_invalid_inputs(self, predictor):
+        with pytest.raises(ValueError):
+            predictor.predict(ModelType.ALEXNET, 0)
+        with pytest.raises(ValueError):
+            ProfilePredictor(backend="svm")
+
+    def test_prediction_error_vs_true_model_is_bounded(self, predictor):
+        """Section 4.2: 'our model does not need to be optimal' -- but
+        against the true performance model at unseen batch sizes the
+        median relative error must stay within ~50%."""
+        topo = power8_minsky()
+        perf = PerformanceModel(topo)
+        errors = []
+        for model in ModelType:
+            for b in (2, 6, 12, 48, 96):
+                job = Job("probe", model, b, 2)
+                truth = perf.iteration_time(
+                    job, perf.placement_gpus(job, Placement.PACK)
+                )
+                pred = predictor.predict(model, b).solo_iter_pack_s
+                errors.append(abs(pred - truth) / truth)
+        assert float(np.median(errors)) < 0.5

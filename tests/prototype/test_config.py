@@ -1,0 +1,107 @@
+"""Tests for INI configuration parsing (paper Appendix A.3)."""
+
+import pytest
+
+from repro.prototype.config import (
+    AlgorithmConfig,
+    ConfigError,
+    SystemConfig,
+    load_algorithm_config,
+    load_system_config,
+    write_sample_configs,
+)
+
+
+class TestSystemConfig:
+    def test_parse_full(self, tmp_path):
+        path = tmp_path / "sys-config.ini"
+        path.write_text(
+            "[system]\n"
+            "simulation = false\n"
+            "machine = dgx1\n"
+            "machines = 4\n"
+            "manifest = jobs.json\n"
+            "scheduler_interval = 2.5\n"
+        )
+        cfg = load_system_config(path)
+        assert not cfg.simulation
+        assert cfg.machine == "dgx1"
+        assert cfg.n_machines == 4
+        assert cfg.manifest_path == "jobs.json"
+        assert cfg.scheduler_interval_s == 2.5
+
+    def test_defaults(self, tmp_path):
+        path = tmp_path / "sys-config.ini"
+        path.write_text("[system]\n")
+        cfg = load_system_config(path)
+        assert cfg.simulation and cfg.machine == "power8-minsky"
+
+    def test_missing_section_rejected(self, tmp_path):
+        path = tmp_path / "sys-config.ini"
+        path.write_text("[other]\nx = 1\n")
+        with pytest.raises(ConfigError, match="system"):
+            load_system_config(path)
+
+    def test_bad_value_rejected(self, tmp_path):
+        path = tmp_path / "sys-config.ini"
+        path.write_text("[system]\nmachines = many\n")
+        with pytest.raises(ConfigError):
+            load_system_config(path)
+
+    def test_topology_factory_single_machine(self):
+        topo = SystemConfig(machine="power8-minsky").topology_factory()()
+        assert len(topo.gpus()) == 4
+
+    def test_topology_factory_cluster(self):
+        topo = SystemConfig(machine="dgx1", n_machines=2).topology_factory()()
+        assert len(topo.gpus()) == 16
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(ConfigError, match="unknown machine"):
+            SystemConfig(machine="tpu-pod").topology_factory()
+
+
+class TestAlgorithmConfig:
+    def test_parse(self, tmp_path):
+        path = tmp_path / "topo-config.ini"
+        path.write_text(
+            "[scheduler]\n"
+            "algorithm = TOPO-AWARE-P\n"
+            "alpha_cc = 0.5\n"
+            "alpha_b = 0.25\n"
+            "alpha_d = 0.25\n"
+            "max_postponements = 7\n"
+        )
+        cfg = load_algorithm_config(path)
+        assert cfg.name == "TOPO-AWARE-P"
+        assert cfg.alpha_cc == 0.5
+        assert cfg.max_postponements == 7
+        assert cfg.utility_params().alpha_cc == 0.5
+
+    def test_missing_algorithm_rejected(self, tmp_path):
+        path = tmp_path / "x-config.ini"
+        path.write_text("[scheduler]\nalpha_cc = 0.3\n")
+        with pytest.raises(ConfigError, match="algorithm"):
+            load_algorithm_config(path)
+
+    def test_bad_weights_rejected(self, tmp_path):
+        path = tmp_path / "x-config.ini"
+        path.write_text("[scheduler]\nalgorithm = BF\nalpha_cc = 0.9\n")
+        with pytest.raises(ValueError):
+            load_algorithm_config(path)
+
+    def test_make_scheduler(self):
+        cfg = AlgorithmConfig(name="TOPO-AWARE-P", max_postponements=3)
+        sched = cfg.make_scheduler()
+        assert sched.name == "TOPO-AWARE-P"
+        assert sched.max_postponements == 3
+
+
+class TestSamples:
+    def test_sample_configs_loadable(self, tmp_path):
+        paths = write_sample_configs(tmp_path)
+        assert len(paths) == 5
+        load_system_config(tmp_path / "sys-config.ini")
+        for algo in ("fcfs", "bf", "topo-aware", "topo-aware-p"):
+            cfg = load_algorithm_config(tmp_path / f"{algo}-config.ini")
+            cfg.make_scheduler()

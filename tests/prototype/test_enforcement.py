@@ -1,0 +1,80 @@
+"""Tests asserting the literal enforcement command lines (Section 5.1)."""
+
+import pytest
+
+from repro.prototype.enforcement import (
+    enforcement_plan,
+    launch_command,
+    launch_environment,
+    numa_binding,
+)
+from repro.workload.job import Job, ModelType
+
+from tests.conftest import make_job
+
+
+class TestEnvironment:
+    def test_cuda_device_order_always_pci(self, minsky):
+        env = launch_environment(minsky, ["m0/gpu0"])
+        assert env["CUDA_DEVICE_ORDER"] == "PCI_BUS_ID"
+
+    def test_visible_devices_sorted_indices(self, minsky):
+        env = launch_environment(minsky, ["m0/gpu3", "m0/gpu1"])
+        assert env["CUDA_VISIBLE_DEVICES"] == "1,3"
+
+    def test_empty_allocation_rejected(self, minsky):
+        with pytest.raises(ValueError):
+            launch_environment(minsky, [])
+
+
+class TestNumaBinding:
+    def test_same_socket_binds(self, minsky):
+        assert (
+            numa_binding(minsky, ["m0/gpu0", "m0/gpu1"])
+            == "numactl --cpunodebind=0 --membind=0"
+        )
+        assert (
+            numa_binding(minsky, ["m0/gpu2", "m0/gpu3"])
+            == "numactl --cpunodebind=1 --membind=1"
+        )
+
+    def test_cross_socket_not_bound(self, minsky):
+        assert numa_binding(minsky, ["m0/gpu0", "m0/gpu2"]) is None
+
+
+class TestLaunchCommand:
+    def test_packed_job_full_line(self, minsky):
+        job = Job("j", ModelType.ALEXNET, 1, 2)
+        cmd = launch_command(minsky, job, ["m0/gpu0", "m0/gpu1"])
+        assert cmd == (
+            "CUDA_DEVICE_ORDER=PCI_BUS_ID CUDA_VISIBLE_DEVICES=0,1 "
+            "numactl --cpunodebind=0 --membind=0 "
+            "caffe train --solver=solvers/alexnet_b1.prototxt --gpu=0,1"
+        )
+
+    def test_spread_job_skips_numactl(self, minsky):
+        job = Job("j", ModelType.GOOGLENET, 32, 2)
+        cmd = launch_command(minsky, job, ["m0/gpu0", "m0/gpu2"])
+        assert "numactl" not in cmd
+        assert "CUDA_VISIBLE_DEVICES=0,2" in cmd
+        assert "googlenet_b32" in cmd
+
+    def test_custom_template(self, minsky):
+        job = Job("j", ModelType.CAFFEREF, 4, 1)
+        cmd = launch_command(
+            minsky, job, ["m0/gpu3"],
+            command_template="train.py --model {model} --iters {iterations} --gpu {gpus}",
+        )
+        assert "--model cafferef" in cmd
+        assert "--iters 4000" in cmd
+        assert "--gpu 3" in cmd
+
+    def test_plan_covers_all_jobs(self, minsky):
+        a = make_job("a", num_gpus=1)
+        b = make_job("b", num_gpus=1)
+        plan = enforcement_plan(
+            minsky, {"a": (a, ["m0/gpu0"]), "b": (b, ["m0/gpu2"])}
+        )
+        assert set(plan) == {"a", "b"}
+        assert "CUDA_VISIBLE_DEVICES=0" in plan["a"]
+        assert "CUDA_VISIBLE_DEVICES=2" in plan["b"]

@@ -1,0 +1,61 @@
+"""Tests for the simulated nvidia-smi / Perfmon2 counters."""
+
+import pytest
+
+from repro.perf.model import PerformanceModel, Placement
+from repro.prototype.monitors import DRAMBandwidthMonitor, NVLinkCounterMonitor
+
+from tests.conftest import make_job
+
+
+@pytest.fixture
+def perf(minsky):
+    return PerformanceModel(minsky)
+
+
+def pack_monitor(perf, **job_kwargs):
+    job = make_job(**job_kwargs)
+    gpus = tuple(perf.placement_gpus(job, Placement.PACK))
+    return NVLinkCounterMonitor(perf, job, gpus)
+
+
+class TestNVLinkCounter:
+    def test_counter_monotone(self, perf):
+        mon = pack_monitor(perf, batch_size=1, iterations=4000)
+        reads = [mon.read(t) for t in (0.0, 5.0, 10.0, 60.0)]
+        assert reads == sorted(reads)
+        assert reads[0] == 0.0
+
+    def test_bandwidth_positive_while_running(self, perf):
+        mon = pack_monitor(perf, batch_size=1, iterations=4000)
+        assert mon.bandwidth_gbs(10.0) > 10.0
+
+    def test_bandwidth_zero_after_completion(self, perf):
+        mon = pack_monitor(perf, batch_size=1, iterations=10)
+        mon.bandwidth_gbs(100.0)  # advance past the end
+        assert mon.bandwidth_gbs(200.0) == pytest.approx(0.0, abs=0.2)
+
+    def test_backwards_read_rejected(self, perf):
+        mon = pack_monitor(perf, batch_size=1)
+        mon.bandwidth_gbs(10.0)
+        with pytest.raises(ValueError):
+            mon.read(5.0)
+
+    def test_tiny_batch_outpaces_big(self, perf):
+        tiny = pack_monitor(perf, batch_size=1, iterations=4000)
+        big = pack_monitor(perf, batch_size=128, iterations=4000)
+        assert tiny.read(60.0) > 4 * big.read(60.0)
+
+
+class TestDRAMMonitor:
+    def test_bandwidth_during_run(self, perf):
+        job = make_job(batch_size=1, iterations=4000)
+        gpus = tuple(perf.placement_gpus(job, Placement.PACK))
+        mon = DRAMBandwidthMonitor(perf, job, gpus)
+        assert mon.bandwidth_gbs(10.0) > 0.0
+
+    def test_out_of_range_zero(self, perf):
+        job = make_job(batch_size=1, iterations=10)
+        gpus = tuple(perf.placement_gpus(job, Placement.PACK))
+        mon = DRAMBandwidthMonitor(perf, job, gpus)
+        assert mon.bandwidth_gbs(10_000.0) == 0.0

@@ -1,0 +1,92 @@
+"""End-to-end tests of the prototype main loop."""
+
+import pytest
+
+from repro.analysis.scenarios import table1_jobs
+from repro.prototype.config import (
+    AlgorithmConfig,
+    SystemConfig,
+    write_sample_configs,
+)
+from repro.prototype.system import PrototypeSystem
+from repro.schedulers import make_scheduler
+from repro.sim.engine import Simulator
+from repro.topology.builders import power8_minsky
+from repro.workload.manifest import dump_manifest
+
+
+class TestConstruction:
+    def test_requires_algorithms(self):
+        with pytest.raises(ValueError, match="algorithm"):
+            PrototypeSystem(SystemConfig(), [], jobs=table1_jobs())
+
+    def test_requires_jobs_or_manifest(self):
+        with pytest.raises(ValueError, match="manifest"):
+            PrototypeSystem(SystemConfig(), [AlgorithmConfig("BF")])
+
+    def test_loads_manifest_from_config(self, tmp_path):
+        manifest = tmp_path / "jobs.json"
+        dump_manifest(table1_jobs(), manifest)
+        system = PrototypeSystem(
+            SystemConfig(manifest_path=str(manifest)),
+            [AlgorithmConfig("BF")],
+        )
+        assert len(system.jobs) == 6
+
+    def test_from_config_dir(self, tmp_path):
+        write_sample_configs(tmp_path)
+        system = PrototypeSystem.from_config_dir(tmp_path, jobs=table1_jobs())
+        names = [a.name for a in system.algorithms]
+        assert sorted(names) == ["BF", "FCFS", "TOPO-AWARE", "TOPO-AWARE-P"]
+
+    def test_missing_sys_config_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            PrototypeSystem.from_config_dir(tmp_path, jobs=table1_jobs())
+
+
+class TestRun:
+    @pytest.fixture(scope="class")
+    def runs(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("cfg")
+        write_sample_configs(tmp)
+        system = PrototypeSystem.from_config_dir(tmp, jobs=table1_jobs())
+        return system.run()
+
+    def test_one_run_per_algorithm(self, runs):
+        assert len(runs) == 4
+
+    def test_all_jobs_finish(self, runs):
+        for run in runs:
+            for rec in run.result.records:
+                assert rec.finished_at is not None
+
+    def test_commands_generated_for_placed_jobs(self, runs):
+        for run in runs:
+            assert set(run.commands) == {f"job{i}" for i in range(6)}
+            for cmd in run.commands.values():
+                assert "CUDA_VISIBLE_DEVICES=" in cmd
+                assert "caffe train" in cmd
+
+    def test_monitors_attached(self, runs):
+        for run in runs:
+            assert set(run.monitors) == set(run.commands)
+
+    def test_matches_direct_simulation(self, runs):
+        """The prototype path is the validated simulation (Figure 9)."""
+        for run in runs:
+            name = run.result.scheduler_name
+            direct = Simulator(
+                power8_minsky(), make_scheduler(name), table1_jobs()
+            ).run()
+            for rec in run.result.records:
+                ref = direct.record_of(rec.job.job_id)
+                assert rec.finished_at == pytest.approx(ref.finished_at)
+                assert rec.gpus == ref.gpus
+
+    def test_topo_aware_beats_greedy_makespan(self, runs):
+        """The paper's headline on the Table 1 scenario."""
+        spans = {r.result.scheduler_name: r.result.makespan for r in runs}
+        assert spans["TOPO-AWARE-P"] < spans["BF"]
+        assert spans["TOPO-AWARE-P"] < spans["FCFS"]
+        speedup = spans["BF"] / spans["TOPO-AWARE-P"]
+        assert 1.15 <= speedup <= 1.45  # paper: ~1.30x

@@ -1,0 +1,76 @@
+"""Tests for the scheduler queue machinery and factory."""
+
+import pytest
+
+from repro.core.placement import PlacementEngine
+from repro.schedulers import (
+    BestFitScheduler,
+    FCFSScheduler,
+    RandomScheduler,
+    TopoAwareScheduler,
+    make_scheduler,
+)
+from repro.schedulers.base import SchedulingContext
+from repro.topology.allocation import AllocationState
+from repro.topology.builders import power8_minsky
+
+from tests.conftest import make_job
+
+
+def make_ctx(topo=None):
+    topo = topo or power8_minsky()
+    alloc = AllocationState(topo)
+    return SchedulingContext(
+        topo=topo,
+        alloc=alloc,
+        engine=PlacementEngine(topo, alloc),
+        co_runners={},
+    )
+
+
+class TestQueue:
+    def test_queue_sorted_by_arrival(self):
+        sched = FCFSScheduler()
+        sched.submit(make_job("late", arrival_time=10.0))
+        sched.submit(make_job("early", arrival_time=1.0))
+        assert [j.job_id for j in sched.queued_jobs()] == ["early", "late"]
+
+    def test_duplicate_submission_rejected(self):
+        sched = FCFSScheduler()
+        sched.submit(make_job("a"))
+        with pytest.raises(ValueError, match="already queued"):
+            sched.submit(make_job("a"))
+
+    def test_queue_length(self):
+        sched = FCFSScheduler()
+        assert sched.queue_length() == 0
+        sched.submit(make_job("a"))
+        assert sched.queue_length() == 1
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("FCFS", FCFSScheduler),
+            ("BF", BestFitScheduler),
+            ("best-fit", BestFitScheduler),
+            ("TOPO-AWARE", TopoAwareScheduler),
+            ("topo_aware_p", TopoAwareScheduler),
+            ("RANDOM", RandomScheduler),
+        ],
+    )
+    def test_known_names(self, name, cls):
+        assert isinstance(make_scheduler(name), cls)
+
+    def test_topo_p_variant_postpones(self):
+        assert make_scheduler("TOPO-AWARE-P").postpone
+        assert not make_scheduler("TOPO-AWARE").postpone
+
+    def test_canonical_names(self):
+        assert make_scheduler("TOPO-AWARE-P").name == "TOPO-AWARE-P"
+        assert make_scheduler("BF").name == "BF"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            make_scheduler("LOTTERY")

@@ -1,0 +1,127 @@
+"""Tests for simulation metrics."""
+
+import pytest
+
+from repro.sim.engine import JobRecord, SimulationResult
+from repro.sim.metrics import (
+    comparison_table,
+    cumulative_execution_time,
+    mean_utility,
+    mean_waiting_time,
+    qos_slowdown,
+    slo_violations,
+    sorted_slowdowns,
+    summarize,
+    total_slowdown,
+)
+
+from tests.conftest import make_job
+
+
+def record(
+    job_id="j",
+    arrival=0.0,
+    placed=10.0,
+    finished=110.0,
+    ideal=100.0,
+    utility=0.8,
+    min_utility=0.5,
+    **job_kwargs,
+) -> JobRecord:
+    job = make_job(job_id, min_utility=min_utility, **job_kwargs)
+    return JobRecord(
+        job=job,
+        arrival=arrival,
+        placed_at=placed,
+        finished_at=finished,
+        ideal_exec_time=ideal,
+        utility=utility,
+        gpus=("m0/gpu0", "m0/gpu1"),
+    )
+
+
+class TestSlowdowns:
+    def test_qos_slowdown_zero_at_ideal(self):
+        assert qos_slowdown(record()) == pytest.approx(0.0)
+
+    def test_qos_slowdown_positive(self):
+        rec = record(finished=160.0)  # exec 150 vs ideal 100
+        assert qos_slowdown(rec) == pytest.approx(0.5)
+
+    def test_total_slowdown_includes_waiting(self):
+        rec = record()  # waited 10s, exec 100 = ideal
+        assert total_slowdown(rec) == pytest.approx(0.1)
+
+    def test_unfinished_job_rejected(self):
+        rec = record()
+        rec.finished_at = None
+        with pytest.raises(ValueError):
+            qos_slowdown(rec)
+
+    def test_sorted_slowdowns_descending(self):
+        recs = [record("a"), record("b", finished=210.0), record("c", finished=160.0)]
+        vals = sorted_slowdowns(recs)
+        assert list(vals) == sorted(vals, reverse=True)
+        assert vals[0] == pytest.approx(1.0)
+
+    def test_sorted_slowdowns_skips_unfinished(self):
+        rec = record()
+        rec.finished_at = None
+        assert len(sorted_slowdowns([rec])) == 0
+
+
+class TestViolationsAndAggregates:
+    def test_slo_violation_detected(self):
+        ok = record("good", utility=0.8)
+        bad = record("bad", utility=0.2)
+        assert slo_violations([ok, bad]) == ["bad"]
+
+    def test_unplaced_job_not_a_violation(self):
+        rec = record("never")
+        rec.utility = None
+        assert slo_violations([rec]) == []
+
+    def test_mean_utility(self):
+        recs = [record(utility=0.6), record(utility=1.0)]
+        assert mean_utility(recs) == pytest.approx(0.8)
+
+    def test_mean_waiting(self):
+        recs = [record(placed=5.0), record(placed=15.0)]
+        assert mean_waiting_time(recs) == pytest.approx(10.0)
+
+
+def make_result(records, name="TEST") -> SimulationResult:
+    return SimulationResult(
+        scheduler_name=name,
+        records=records,
+        makespan=max(r.finished_at for r in records if r.finished_at),
+        decision_time_s=0.5,
+        decision_rounds=5,
+    )
+
+
+class TestSummaries:
+    def test_summarize_fields(self):
+        result = make_result([record("a"), record("b", utility=0.1)])
+        row = summarize(result)
+        assert row["jobs"] == 2
+        assert row["slo_violations"] == 1
+        assert row["makespan_s"] == pytest.approx(110.0)
+        assert row["mean_decision_time_s"] == pytest.approx(0.1)
+
+    def test_cumulative_execution_time_is_makespan(self):
+        result = make_result([record()])
+        assert cumulative_execution_time(result) == result.makespan
+
+    def test_comparison_table_renders_all_rows(self):
+        results = [make_result([record()], name=n) for n in ("A", "B")]
+        text = comparison_table(results)
+        assert "A" in text and "B" in text and "makespan" in text
+
+    def test_summarize_handles_unfinished(self):
+        rec = record("u")
+        rec.finished_at = None
+        rec.unplaceable = True
+        result = SimulationResult("X", [rec], 0.0, 0.0, 0)
+        row = summarize(result)
+        assert row["finished"] == 0 and row["unplaceable"] == 1

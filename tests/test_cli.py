@@ -1,0 +1,103 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.analysis.scenarios import table1_jobs
+from repro.prototype.config import write_sample_configs
+from repro.workload.manifest import dump_manifest
+
+
+class TestTopoCommand:
+    def test_summary(self, capsys):
+        assert main(["topo", "--machine", "power8-minsky"]) == 0
+        out = capsys.readouterr().out
+        assert "p2p islands" in out and "m0/gpu3" in out
+
+    def test_matrix_output(self, capsys):
+        assert main(["topo", "--machine", "dgx1", "--matrix"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("\tGPU0") and "NV1" in out
+
+    def test_numactl_output(self, capsys):
+        assert main(["topo", "--numactl"]) == 0
+        assert "node distances" in capsys.readouterr().out
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["topo", "--machine", "tpu"])
+
+
+class TestSimulateAndCompare:
+    def test_simulate_prints_summary(self, capsys):
+        code = main(
+            ["simulate", "--jobs", "10", "--machines", "2",
+             "--scheduler", "BF", "--seed", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "makespan_s" in out and "scheduler: BF" in out
+
+    def test_compare_prints_all_policies(self, capsys):
+        code = main(["compare", "--jobs", "10", "--machines", "2", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("BF", "FCFS", "TOPO-AWARE", "TOPO-AWARE-P"):
+            assert name in out
+
+    def test_single_machine_mode(self, capsys):
+        code = main(["simulate", "--jobs", "5", "--machines", "1", "--seed", "2"])
+        assert code == 0
+
+    def test_new_schedulers_available(self, capsys):
+        for name in ("SJF", "EASY-BACKFILL"):
+            code = main(
+                ["simulate", "--jobs", "8", "--machines", "2",
+                 "--scheduler", name, "--seed", "3"]
+            )
+            assert code == 0
+            assert f"scheduler: {name}" in capsys.readouterr().out
+
+    def test_new_machines_available(self, capsys):
+        for machine in ("dgx2", "power9-ac922"):
+            assert main(["topo", "--machine", machine]) == 0
+            out = capsys.readouterr().out
+            assert "p2p islands" in out
+
+
+class TestRunCommand:
+    def test_prototype_run_from_configs(self, tmp_path, capsys):
+        write_sample_configs(tmp_path)
+        manifest = tmp_path / "jobs.json"
+        dump_manifest(table1_jobs(), manifest)
+        code = main(
+            ["run", "--config-dir", str(tmp_path), "--manifest", str(manifest)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TOPO-AWARE-P" in out and "job3" in out
+
+
+class TestFiguresCommand:
+    def test_writes_result_files(self, tmp_path, capsys):
+        code = main(["figures", "--out", str(tmp_path)])
+        assert code == 0
+        names = {p.name for p in tmp_path.glob("*.txt")}
+        assert "fig4_pack_vs_spread.txt" in names
+        assert "fig8_prototype.txt" in names
+
+    def test_renders_svg_figures(self, tmp_path, capsys):
+        code = main(["figures", "--svg", str(tmp_path / "svg")])
+        assert code == 0
+        names = {p.name for p in (tmp_path / "svg").glob("*.svg")}
+        assert "fig4_pack_vs_spread.svg" in names
+        assert "fig6_collocation.svg" in names
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_module_entry_point_exists(self):
+        import repro.__main__  # noqa: F401  -- imports (and exits) only under -m

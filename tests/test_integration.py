@@ -1,0 +1,117 @@
+"""Whole-system integration tests at moderate scale.
+
+Slower than unit tests (a second or two each) but still far below the
+benchmark sizes; they pin down the cross-module behaviours the paper's
+conclusions rest on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.schedulers import make_scheduler
+from repro.sim.engine import MachineFailure, Simulator, run_comparison
+from repro.sim.metrics import (
+    average_utilization,
+    mean_waiting_time,
+    qos_slowdown,
+    slo_violations,
+    total_slowdown,
+)
+from repro.topology.builders import cluster, dgx1
+from repro.workload.generator import GeneratorConfig, WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def workload():
+    cfg = GeneratorConfig(arrival_rate_per_min=5.0)
+    return WorkloadGenerator(cfg, seed=123).generate(150)
+
+
+@pytest.fixture(scope="module")
+def comparison(workload):
+    return run_comparison(lambda: cluster(8), workload)
+
+
+class TestCrossPolicyInvariants:
+    def test_every_policy_completes_the_workload(self, comparison):
+        for name, result in comparison.items():
+            if name == "FCFS":
+                continue  # FIFO blocking may starve in principle
+            finished = sum(
+                1 for r in result.records if r.finished_at is not None
+            )
+            assert finished == len(result.records), name
+
+    def test_identical_work_different_schedules(self, comparison):
+        """All policies process the same jobs; their placements differ."""
+        placements = {
+            name: tuple(r.gpus for r in result.records)
+            for name, result in comparison.items()
+        }
+        assert placements["TOPO-AWARE-P"] != placements["FCFS"]
+
+    def test_topo_policies_never_violate_slos(self, comparison):
+        for name in ("TOPO-AWARE", "TOPO-AWARE-P"):
+            assert slo_violations(comparison[name].records) == [], name
+
+    def test_topo_p_best_or_tied_on_every_headline_metric(self, comparison):
+        def stats(result):
+            recs = [r for r in result.records if r.finished_at is not None]
+            return (
+                float(np.mean([qos_slowdown(r) for r in recs])),
+                float(np.mean([total_slowdown(r) for r in recs])),
+                mean_waiting_time(recs),
+            )
+
+        topo = stats(comparison["TOPO-AWARE-P"])
+        for name in ("BF", "FCFS"):
+            other = stats(comparison[name])
+            assert topo[0] <= other[0] + 1e-9, (name, "qos")
+            assert topo[1] <= other[1] + 1e-9, (name, "total")
+
+    def test_utilization_reasonable_under_load(self, comparison, workload):
+        for result in comparison.values():
+            util = average_utilization(result.records, total_gpus=32)
+            assert 0.15 < util <= 1.0
+
+
+class TestDeterminismAcrossRuns:
+    def test_full_comparison_is_reproducible(self, workload, comparison):
+        again = run_comparison(lambda: cluster(8), workload)
+        for name, result in comparison.items():
+            other = again[name]
+            assert result.makespan == other.makespan
+            for a, b in zip(result.records, other.records):
+                assert a.gpus == b.gpus and a.finished_at == b.finished_at
+
+
+class TestMixedConditions:
+    def test_dgx_cluster_with_failures_and_model_parallel(self):
+        """Everything at once: DGX-1 machines, a machine outage, mixed
+        data/model-parallel jobs, the postponing policy."""
+        from repro.workload.job import CommPattern, Job, ModelType
+
+        gen = WorkloadGenerator(GeneratorConfig(arrival_rate_per_min=6.0), seed=5)
+        jobs = list(gen.generate(30))
+        jobs.append(
+            Job(
+                "pipeline",
+                ModelType.ALEXNET,
+                1,
+                4,
+                min_utility=0.3,
+                arrival_time=30.0,
+                iterations=500,
+                comm_pattern=CommPattern.MODEL_PARALLEL_CHAIN,
+            )
+        )
+        sim = Simulator(
+            cluster(3, dgx1),
+            make_scheduler("TOPO-AWARE-P"),
+            jobs,
+            failures=[MachineFailure("m1", at_time=200.0, duration_s=400.0)],
+        )
+        result = sim.run()
+        assert all(r.finished_at is not None for r in result.records)
+        pipe = result.record_of("pipeline")
+        assert pipe.p2p  # the NVLink quad was worth waiting for

@@ -1,0 +1,76 @@
+"""Tests for the dependency-free SVG figure renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.plot.svg import bar_chart, line_chart
+from repro.plot.figures import render_all_figures
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestLineChart:
+    def test_well_formed_with_one_polyline_per_series(self):
+        svg = line_chart(
+            {"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]},
+            title="T", x_label="x", y_label="y",
+        )
+        root = parse(svg)
+        polylines = root.findall(f"{SVG_NS}polyline")
+        assert len(polylines) == 2
+        texts = [t.text for t in root.iter(f"{SVG_NS}text")]
+        assert "T" in texts and "a" in texts and "b" in texts
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"a": []})
+
+    def test_special_characters_escaped(self):
+        svg = line_chart({"a<b": [(0, 0), (1, 1)]}, title="x & y")
+        parse(svg)  # must stay well-formed
+        assert "a<b" not in svg.replace("a&lt;b", "")
+
+
+class TestBarChart:
+    def test_one_rect_per_group_series_pair(self):
+        svg = bar_chart(
+            ["g1", "g2", "g3"],
+            {"s1": [1, 2, 3], "s2": [3, 2, 1]},
+        )
+        root = parse(svg)
+        rects = root.findall(f"{SVG_NS}rect")
+        # background + 2 legend swatches + 6 bars
+        assert len(rects) == 1 + 2 + 6
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            bar_chart(["g1", "g2"], {"s": [1.0]})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart([], {})
+
+
+class TestFigureRendering:
+    def test_renders_all_headline_figures(self, tmp_path):
+        paths = render_all_figures(tmp_path)
+        assert [p.name for p in paths] == [
+            "fig4_pack_vs_spread.svg",
+            "fig5_nvlink_bandwidth.svg",
+            "fig6_collocation.svg",
+        ]
+        for p in paths:
+            root = parse(p.read_text())
+            assert root.tag == f"{SVG_NS}svg"
+
+    def test_fig4_has_three_model_series(self, tmp_path):
+        (path, _, _) = render_all_figures(tmp_path)
+        root = parse(path.read_text())
+        assert len(root.findall(f"{SVG_NS}polyline")) == 3

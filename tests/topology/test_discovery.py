@@ -1,0 +1,121 @@
+"""Tests for the nvidia-smi / numactl discovery interchange formats."""
+
+import pytest
+
+from repro.topology.builders import dgx1, power8_minsky, power8_pcie_k80
+from repro.topology.discovery import (
+    parse_numactl_hardware,
+    parse_topo_matrix,
+    render_numactl_hardware,
+    render_topo_matrix,
+    topology_from_matrix,
+)
+from repro.topology.graph import TopologyError
+from repro.topology.links import LinkSpec
+
+
+class TestRenderMatrix:
+    def test_minsky_codes(self, minsky):
+        text = render_topo_matrix(minsky)
+        rows = {ln.split("\t")[0]: ln.split("\t") for ln in text.splitlines()[1:]}
+        assert rows["GPU0"][2] == "NV2"  # gpu0-gpu1 dual NVLink
+        assert rows["GPU0"][3] == "SYS"  # cross socket
+        assert rows["GPU0"][1] == "X"
+
+    def test_pcie_machine_codes(self, pcie_machine):
+        text = render_topo_matrix(pcie_machine)
+        rows = {ln.split("\t")[0]: ln.split("\t") for ln in text.splitlines()[1:]}
+        assert rows["GPU0"][2] == "PIX"  # same switch
+        assert rows["GPU0"][3] == "SYS"
+
+    def test_affinity_column_tracks_socket(self, minsky):
+        text = render_topo_matrix(minsky)
+        rows = [ln.split("\t") for ln in text.splitlines()[1:]]
+        assert rows[0][-1] == rows[1][-1]
+        assert rows[0][-1] != rows[2][-1]
+
+    def test_multi_machine_requires_explicit_machine(self, small_cluster):
+        with pytest.raises(TopologyError, match="explicit"):
+            render_topo_matrix(small_cluster)
+        text = render_topo_matrix(small_cluster, machine="m1")
+        assert "GPU0" in text
+
+
+class TestParseMatrix:
+    def test_parse_returns_codes(self, minsky):
+        parsed = parse_topo_matrix(render_topo_matrix(minsky))
+        assert parsed[(0, 1)] == "NV2"
+        assert parsed[(0, 2)] == "SYS"
+
+    def test_empty_rejected(self):
+        with pytest.raises(TopologyError, match="empty"):
+            parse_topo_matrix("")
+
+    def test_bad_diagonal_rejected(self):
+        text = "\tGPU0\tGPU1\nGPU0\tNV1\tNV1\nGPU1\tNV1\tX\n"
+        with pytest.raises(TopologyError, match="diagonal"):
+            parse_topo_matrix(text)
+
+    def test_short_row_rejected(self):
+        text = "\tGPU0\tGPU1\nGPU0\tX\nGPU1\tNV1\tX\n"
+        with pytest.raises(TopologyError, match="cells"):
+            parse_topo_matrix(text)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("builder", [power8_minsky, dgx1, power8_pcie_k80])
+    def test_matrix_fixed_point(self, builder):
+        """render(parse(render(t))) must equal render(t): the GPU-to-GPU
+        relation survives reconstruction for every paper machine."""
+        original = render_topo_matrix(builder())
+        rebuilt = topology_from_matrix(original, "m0")
+        assert render_topo_matrix(rebuilt) == original
+
+    def test_rebuilt_minsky_has_socket_structure(self, minsky):
+        rebuilt = topology_from_matrix(
+            render_topo_matrix(minsky), "m0", cpu_link=LinkSpec.nvlink(2)
+        )
+        assert len(rebuilt.sockets()) == 2
+        assert rebuilt.socket_of("m0/gpu0") == rebuilt.socket_of("m0/gpu1")
+        assert rebuilt.socket_of("m0/gpu0") != rebuilt.socket_of("m0/gpu2")
+
+    def test_rebuild_without_affinity_column_uses_sys_clustering(self):
+        text = (
+            "\tGPU0\tGPU1\tGPU2\tGPU3\n"
+            "GPU0\tX\tNV2\tSYS\tSYS\n"
+            "GPU1\tNV2\tX\tSYS\tSYS\n"
+            "GPU2\tSYS\tSYS\tX\tNV2\n"
+            "GPU3\tSYS\tSYS\tNV2\tX\n"
+        )
+        rebuilt = topology_from_matrix(text)
+        assert len(rebuilt.sockets()) == 2
+        assert len(rebuilt.nvlink_pairs()) == 2
+
+
+class TestNumactl:
+    def test_render_contains_distances(self, minsky):
+        text = render_numactl_hardware(minsky)
+        assert "available: 2 nodes (0-1)" in text
+        assert "node distances:" in text
+
+    def test_roundtrip(self, minsky):
+        parsed = parse_numactl_hardware(render_numactl_hardware(minsky))
+        assert parsed["nodes"] == 2
+        assert len(parsed["cpus"][0]) == 8
+        mat = parsed["distances"]
+        assert mat[0][0] == 10 and mat[0][1] == mat[1][0] > 10
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TopologyError):
+            parse_numactl_hardware("nothing useful")
+
+    def test_shape_mismatch_rejected(self):
+        text = (
+            "available: 2 nodes (0-1)\n"
+            "node distances:\n"
+            "node   0   1\n"
+            "  0:  10\n"
+            "  1:  40  10\n"
+        )
+        with pytest.raises(TopologyError, match="shape"):
+            parse_numactl_hardware(text)

@@ -1,0 +1,74 @@
+"""Property-based round-trip tests for topology discovery."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.topology.builders import machine
+from repro.topology.discovery import (
+    parse_topo_matrix,
+    render_topo_matrix,
+    topology_from_matrix,
+)
+from repro.topology.links import LinkSpec
+
+
+@st.composite
+def machines(draw):
+    sockets = draw(st.integers(min_value=1, max_value=3))
+    gps = draw(st.integers(min_value=1, max_value=4))
+    peer = draw(
+        st.sampled_from([None, LinkSpec.nvlink(1), LinkSpec.nvlink(2)])
+    )
+    uplink = draw(st.sampled_from([LinkSpec.nvlink(2), LinkSpec.pcie()]))
+    return machine(
+        "mx", sockets=sockets, gpus_per_socket=gps,
+        gpu_link=uplink, peer_link=peer,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(machines())
+def test_matrix_render_parse_rebuild_is_fixed_point(topo):
+    """For any generated machine, the GPU-relation matrix survives
+    render -> parse -> rebuild -> render byte-for-byte."""
+    original = render_topo_matrix(topo)
+    rebuilt = topology_from_matrix(original, "mx")
+    assert render_topo_matrix(rebuilt) == original
+
+
+@settings(max_examples=40, deadline=None)
+@given(machines())
+def test_rebuild_preserves_socket_structure(topo):
+    rebuilt = topology_from_matrix(render_topo_matrix(topo), "mx")
+    assert len(rebuilt.sockets()) == len(topo.sockets())
+    # socket co-membership is identical for every GPU pair
+    gpus = topo.gpus()
+    re_gpus = rebuilt.gpus()
+    assert len(gpus) == len(re_gpus)
+    for i in range(len(gpus)):
+        for j in range(i + 1, len(gpus)):
+            same_before = topo.socket_of(gpus[i]) == topo.socket_of(gpus[j])
+            same_after = rebuilt.socket_of(re_gpus[i]) == rebuilt.socket_of(
+                re_gpus[j]
+            )
+            assert same_before == same_after
+
+
+@settings(max_examples=40, deadline=None)
+@given(machines())
+def test_rebuild_preserves_nvlink_peers(topo):
+    rebuilt = topology_from_matrix(render_topo_matrix(topo), "mx")
+    before = {(a.split("gpu")[1], b.split("gpu")[1]) for a, b in topo.nvlink_pairs()}
+    after = {(a.split("gpu")[1], b.split("gpu")[1]) for a, b in rebuilt.nvlink_pairs()}
+    assert before == after
+
+
+@settings(max_examples=40, deadline=None)
+@given(machines())
+def test_parse_matrix_codes_are_consistent(topo):
+    parsed = parse_topo_matrix(render_topo_matrix(topo))
+    n = len(topo.gpus())
+    for i in range(n):
+        for j in range(n):
+            if i == j:
+                continue
+            assert parsed[(i, j)] == parsed[(j, i)]  # relation is symmetric

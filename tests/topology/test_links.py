@@ -1,0 +1,54 @@
+"""Unit tests for link specifications."""
+
+import pytest
+
+from repro.topology.links import (
+    DEFAULT_LEVEL_WEIGHTS,
+    LinkSpec,
+    LinkType,
+    NVLINK_LANE_BW,
+    PCIE3_X16_BW,
+    XBUS_BW,
+)
+
+
+class TestLinkSpec:
+    def test_nvlink_single_lane_bandwidth(self):
+        assert LinkSpec.nvlink(1).bandwidth_gbs == NVLINK_LANE_BW
+
+    def test_nvlink_dual_lane_aggregates(self):
+        spec = LinkSpec.nvlink(2)
+        assert spec.bandwidth_gbs == 2 * NVLINK_LANE_BW == 40.0
+        assert spec.lanes == 2
+
+    def test_pcie_default_bandwidth(self):
+        assert LinkSpec.pcie().bandwidth_gbs == PCIE3_X16_BW
+
+    def test_xbus_default_bandwidth(self):
+        assert LinkSpec.xbus().bandwidth_gbs == XBUS_BW
+
+    def test_explicit_bandwidth_overrides_default(self):
+        spec = LinkSpec(LinkType.XBUS, bandwidth_gbs=19.2)
+        assert spec.bandwidth_gbs == 19.2
+
+    def test_onboard_is_not_a_bottleneck(self):
+        assert LinkSpec.onboard().bandwidth_gbs > 1e6
+
+    def test_zero_lanes_rejected(self):
+        with pytest.raises(ValueError, match="lanes"):
+            LinkSpec(LinkType.NVLINK, lanes=0)
+
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(ValueError, match="bandwidth"):
+            LinkSpec(LinkType.PCIE, bandwidth_gbs=-1.0)
+
+    def test_frozen(self):
+        spec = LinkSpec.pcie()
+        with pytest.raises(Exception):
+            spec.lanes = 4
+
+
+class TestLevelWeights:
+    def test_weights_increase_with_level(self):
+        w = DEFAULT_LEVEL_WEIGHTS
+        assert w["gpu"] < w["switch"] < w["socket"] < w["machine"]

@@ -1,0 +1,92 @@
+"""Structural tests for the next-generation machine models."""
+
+import pytest
+
+from repro.core.placement import PlacementEngine
+from repro.perf.model import PerformanceModel, Placement
+from repro.topology.allocation import AllocationState
+from repro.topology.builders import dgx2, power9_ac922
+from repro.topology.graph import NodeKind
+
+from tests.conftest import make_job
+
+
+class TestPower9AC922:
+    @pytest.fixture(scope="class")
+    def topo(self):
+        return power9_ac922()
+
+    def test_counts(self, topo):
+        assert len(topo.gpus()) == 6
+        assert len(topo.sockets()) == 2
+        assert all(len(topo.gpus(socket=s)) == 3 for s in topo.sockets())
+
+    def test_socket_triangles_are_nvlink(self, topo):
+        assert len(topo.nvlink_pairs()) == 6  # two triangles
+
+    def test_nvlink2_bandwidth(self, topo):
+        assert topo.bottleneck_bandwidth("m0/gpu0", "m0/gpu1") == pytest.approx(75.0)
+
+    def test_p2p_islands_are_triples(self, topo):
+        assert topo.p2p_island_sizes() == [3, 3]
+
+    def test_three_gpu_job_packs_on_one_socket(self, topo):
+        engine = PlacementEngine(topo, AllocationState(topo))
+        sol = engine.propose(make_job(num_gpus=3, batch_size=1))
+        assert len({topo.socket_of(g) for g in sol.gpus}) == 1
+        assert sol.p2p
+
+    def test_faster_links_cut_absolute_comm_time(self, topo):
+        """NVLink 2.0 shrinks absolute communication time vs the Minsky,
+        yet the pack-vs-spread gap persists (the socket bus did not
+        speed up proportionally) -- placement still matters."""
+        from repro.topology.builders import power8_minsky
+
+        job = make_job(batch_size=1)
+        p9 = PerformanceModel(topo)
+        p8 = PerformanceModel(power8_minsky())
+        comm9 = p9.iteration_breakdown(
+            job, p9.placement_gpus(job, Placement.PACK)
+        ).comm_s
+        comm8 = p8.iteration_breakdown(
+            job, p8.placement_gpus(job, Placement.PACK)
+        ).comm_s
+        assert comm9 < comm8
+        pack = p9.iteration_time(job, p9.placement_gpus(job, Placement.PACK))
+        spread = p9.iteration_time(job, p9.placement_gpus(job, Placement.SPREAD))
+        assert spread / pack > 1.2
+
+
+class TestDGX2:
+    @pytest.fixture(scope="class")
+    def topo(self):
+        return dgx2()
+
+    def test_counts(self, topo):
+        assert len(topo.gpus()) == 16
+        assert len(topo.nodes(NodeKind.SWITCH)) == 1
+
+    def test_whole_machine_is_one_p2p_island(self, topo):
+        assert topo.p2p_island_sizes() == [8, 8] or max(topo.p2p_island_sizes()) >= 8
+        # cross-socket pairs still reach each other P2P via the fabric
+        assert topo.p2p_connected("m0/gpu0", "m0/gpu15")
+
+    def test_uniform_gpu_distance_via_fabric(self, topo):
+        d_intra = topo.distance("m0/gpu0", "m0/gpu1")
+        d_cross = topo.distance("m0/gpu0", "m0/gpu8")
+        assert d_intra == d_cross == 2.0
+
+    def test_full_fabric_bandwidth(self, topo):
+        assert topo.bottleneck_bandwidth("m0/gpu0", "m0/gpu9") == pytest.approx(150.0)
+
+    def test_pack_vs_spread_vanishes(self, topo):
+        perf = PerformanceModel(topo)
+        job = make_job(batch_size=1)
+        pack = perf.iteration_time(job, perf.placement_gpus(job, Placement.PACK))
+        spread = perf.iteration_time(job, perf.placement_gpus(job, Placement.SPREAD))
+        assert spread / pack == pytest.approx(1.0, abs=1e-6)
+
+    def test_eight_gpu_job_placeable_with_p2p(self, topo):
+        engine = PlacementEngine(topo, AllocationState(topo))
+        sol = engine.propose(make_job(num_gpus=8, batch_size=1, min_utility=0.5))
+        assert sol is not None and sol.p2p

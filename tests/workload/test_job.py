@@ -1,0 +1,113 @@
+"""Tests for job specifications and batch-class mapping."""
+
+import pytest
+
+from repro.workload.job import BatchClass, Job, ModelType, batch_class_of
+
+
+class TestModelType:
+    def test_from_string_full_names(self):
+        assert ModelType.from_string("AlexNet") is ModelType.ALEXNET
+        assert ModelType.from_string("cafferef") is ModelType.CAFFEREF
+        assert ModelType.from_string("GOOGLENET") is ModelType.GOOGLENET
+
+    def test_from_string_table1_aliases(self):
+        # Table 1 abbreviates models as A/C/G
+        assert ModelType.from_string("A") is ModelType.ALEXNET
+        assert ModelType.from_string("C") is ModelType.CAFFEREF
+        assert ModelType.from_string("G") is ModelType.GOOGLENET
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            ModelType.from_string("resnet")
+
+
+class TestBatchClass:
+    @pytest.mark.parametrize(
+        "size,expected",
+        [
+            (1, BatchClass.TINY),
+            (2, BatchClass.TINY),
+            (3, BatchClass.SMALL),
+            (4, BatchClass.SMALL),
+            (8, BatchClass.SMALL),
+            (16, BatchClass.MEDIUM),
+            (32, BatchClass.MEDIUM),
+            (48, BatchClass.MEDIUM),
+            (64, BatchClass.BIG),
+            (128, BatchClass.BIG),
+        ],
+    )
+    def test_classification(self, size, expected):
+        assert batch_class_of(size) is expected
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            batch_class_of(0)
+
+    def test_representative_batches(self):
+        assert [c.representative_batch for c in BatchClass] == [1, 4, 32, 128]
+
+    def test_from_index_matches_generator_convention(self):
+        # Section 5.3: 0=tiny, 1=small, 2=medium, 3=big
+        assert BatchClass.from_index(0) is BatchClass.TINY
+        assert BatchClass.from_index(3) is BatchClass.BIG
+        with pytest.raises(ValueError):
+            BatchClass.from_index(4)
+
+    def test_from_string(self):
+        assert BatchClass.from_string("tiny") is BatchClass.TINY
+        with pytest.raises(ValueError):
+            BatchClass.from_string("huge")
+
+
+class TestJob:
+    def test_valid_job(self):
+        j = Job("j", ModelType.ALEXNET, 4, 2, min_utility=0.5, arrival_time=1.0)
+        assert j.batch_class is BatchClass.SMALL
+
+    @pytest.mark.parametrize(
+        "kwargs,msg",
+        [
+            (dict(num_gpus=0), "num_gpus"),
+            (dict(batch_size=0), "batch_size"),
+            (dict(min_utility=1.5), "min_utility"),
+            (dict(arrival_time=-1.0), "arrival_time"),
+            (dict(iterations=0), "iterations"),
+        ],
+    )
+    def test_validation(self, kwargs, msg):
+        base = dict(
+            job_id="j", model=ModelType.ALEXNET, batch_size=1, num_gpus=1
+        )
+        base.update(kwargs)
+        with pytest.raises(ValueError, match=msg):
+            Job(**base)
+
+    def test_with_arrival_preserves_rest(self):
+        j = Job("j", ModelType.GOOGLENET, 32, 4)
+        j2 = j.with_arrival(99.0)
+        assert j2.arrival_time == 99.0 and j2.model is j.model
+
+    def test_describe_mentions_key_fields(self):
+        text = Job("jx", ModelType.ALEXNET, 1, 2).describe()
+        assert "jx" in text and "alexnet" in text and "tiny" in text
+
+
+class TestRequiresP2P:
+    def test_single_gpu_never_requires(self):
+        assert not Job("j", ModelType.ALEXNET, 1, 1).requires_p2p
+
+    def test_tiny_and_small_multi_gpu_require(self):
+        assert Job("j", ModelType.ALEXNET, 1, 2).requires_p2p
+        assert Job("j", ModelType.ALEXNET, 4, 2).requires_p2p
+
+    def test_big_batch_does_not_require(self):
+        assert not Job("j", ModelType.ALEXNET, 128, 2).requires_p2p
+
+    def test_explicit_flag_wins(self):
+        assert Job("j", ModelType.ALEXNET, 128, 2, p2p=True).requires_p2p
+        assert not Job("j", ModelType.ALEXNET, 1, 2, p2p=False).requires_p2p
+
+    def test_explicit_true_on_single_gpu_still_false(self):
+        assert not Job("j", ModelType.ALEXNET, 1, 1, p2p=True).requires_p2p

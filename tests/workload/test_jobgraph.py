@@ -1,0 +1,100 @@
+"""Tests for job communication graphs."""
+
+import pytest
+
+from repro.workload.job import BatchClass, Job, ModelType
+from repro.workload.jobgraph import (
+    JobGraph,
+    comm_weight,
+    data_parallel_graph,
+    model_parallel_chain,
+    model_parallel_ring,
+)
+
+
+class TestCommWeight:
+    def test_weights_follow_paper_convention(self):
+        # Section 5.1: weights range 4 (tiny) .. 1 (big)
+        assert comm_weight(BatchClass.TINY) == 4.0
+        assert comm_weight(BatchClass.SMALL) == 3.0
+        assert comm_weight(BatchClass.MEDIUM) == 2.0
+        assert comm_weight(BatchClass.BIG) == 1.0
+
+
+class TestJobGraph:
+    def test_empty_graph(self):
+        g = JobGraph(3)
+        assert g.n_edges() == 0
+        assert g.weight(0, 1) == 0.0
+        assert g.total_weight() == 0.0
+
+    def test_add_edge_symmetric(self):
+        g = JobGraph(3)
+        g.add_edge(2, 0, 1.5)
+        assert g.weight(0, 2) == g.weight(2, 0) == 1.5
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            JobGraph(2).add_edge(1, 1, 1.0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="out of range"):
+            JobGraph(2).add_edge(0, 2, 1.0)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            JobGraph(2).add_edge(0, 1, -1.0)
+
+    def test_zero_tasks_rejected(self):
+        with pytest.raises(ValueError):
+            JobGraph(0)
+
+    def test_degree_and_weight_to(self):
+        g = JobGraph(3, [(0, 1, 2.0), (0, 2, 3.0)])
+        assert g.degree(0) == 5.0
+        assert g.degree(1) == 2.0
+        assert g.weight_to(0, [1]) == 2.0
+        assert g.weight_to(0, [1, 2]) == 5.0
+
+    def test_normalised_scales_weights(self):
+        g = JobGraph(2, [(0, 1, 4.0)])
+        n = g.normalised(40.0)
+        assert n.weight(0, 1) == pytest.approx(0.1)
+        with pytest.raises(ValueError):
+            g.normalised(0.0)
+
+    def test_equality(self):
+        a = JobGraph(2, [(0, 1, 1.0)])
+        b = JobGraph(2, [(0, 1, 1.0)])
+        assert a == b
+        assert a != JobGraph(2, [(0, 1, 2.0)])
+
+
+class TestGenerators:
+    def test_data_parallel_is_uniform_clique(self):
+        job = Job("j", ModelType.ALEXNET, 1, 4)
+        g = data_parallel_graph(job)
+        assert g.n_edges() == 6
+        weights = {w for _, _, w in g.edges()}
+        assert weights == {4.0}
+
+    def test_data_parallel_weight_tracks_batch(self):
+        tiny = data_parallel_graph(Job("j", ModelType.ALEXNET, 1, 2))
+        big = data_parallel_graph(Job("j", ModelType.ALEXNET, 128, 2))
+        assert tiny.weight(0, 1) > big.weight(0, 1)
+
+    def test_single_gpu_job_has_no_edges(self):
+        g = data_parallel_graph(Job("j", ModelType.ALEXNET, 1, 1))
+        assert g.n_edges() == 0 and g.n_tasks == 1
+
+    def test_chain_edges(self):
+        g = model_parallel_chain(4, weight=2.0)
+        assert g.edges() == [(0, 1, 2.0), (1, 2, 2.0), (2, 3, 2.0)]
+
+    def test_ring_closes_chain(self):
+        g = model_parallel_ring(4)
+        assert g.weight(3, 0) > 0
+        assert g.n_edges() == 4
+
+    def test_two_task_ring_is_a_chain(self):
+        assert model_parallel_ring(2).n_edges() == 1

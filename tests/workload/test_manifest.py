@@ -1,0 +1,94 @@
+"""Tests for JSON job manifests (the prototype's input format)."""
+
+import pytest
+
+from repro.workload.job import Job, ModelType
+from repro.workload.manifest import (
+    ManifestError,
+    dump_manifest,
+    dumps_manifest,
+    load_manifest,
+    loads_manifest,
+)
+
+
+MINIMAL = '{"jobs": [{"id": "a", "model": "alexnet", "batch_size": 1, "num_gpus": 2}]}'
+
+
+class TestLoad:
+    def test_minimal_job_gets_defaults(self):
+        (job,) = loads_manifest(MINIMAL)
+        assert job.job_id == "a"
+        assert job.iterations == 4000
+        assert job.min_utility == 0.0
+        assert job.single_node
+
+    def test_jobs_sorted_by_arrival(self):
+        text = (
+            '{"jobs": ['
+            '{"id": "late", "model": "a", "batch_size": 1, "num_gpus": 1, "arrival_time": 9},'
+            '{"id": "early", "model": "a", "batch_size": 1, "num_gpus": 1, "arrival_time": 1}'
+            "]}"
+        )
+        jobs = loads_manifest(text)
+        assert [j.job_id for j in jobs] == ["early", "late"]
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ManifestError, match="invalid JSON"):
+            loads_manifest("{nope")
+
+    def test_missing_jobs_key_rejected(self):
+        with pytest.raises(ManifestError, match="jobs"):
+            loads_manifest("{}")
+
+    def test_missing_required_key_rejected(self):
+        with pytest.raises(ManifestError, match="missing keys"):
+            loads_manifest('{"jobs": [{"id": "a"}]}')
+
+    def test_unknown_key_rejected(self):
+        text = (
+            '{"jobs": [{"id": "a", "model": "alexnet", "batch_size": 1,'
+            ' "num_gpus": 1, "gpu_count": 2}]}'
+        )
+        with pytest.raises(ManifestError, match="unknown keys"):
+            loads_manifest(text)
+
+    def test_duplicate_ids_rejected(self):
+        text = (
+            '{"jobs": ['
+            '{"id": "a", "model": "alexnet", "batch_size": 1, "num_gpus": 1},'
+            '{"id": "a", "model": "alexnet", "batch_size": 1, "num_gpus": 1}'
+            "]}"
+        )
+        with pytest.raises(ManifestError, match="duplicate"):
+            loads_manifest(text)
+
+    def test_bad_value_wraps_error_with_index(self):
+        text = '{"jobs": [{"id": "a", "model": "alexnet", "batch_size": 0, "num_gpus": 1}]}'
+        with pytest.raises(ManifestError, match="job #0"):
+            loads_manifest(text)
+
+    def test_non_object_job_rejected(self):
+        with pytest.raises(ManifestError, match="expected an object"):
+            loads_manifest('{"jobs": [42]}')
+
+
+class TestRoundTrip:
+    def test_full_roundtrip(self, tmp_path):
+        jobs = [
+            Job("a", ModelType.ALEXNET, 1, 2, min_utility=0.5, arrival_time=0.51,
+                iterations=100, p2p=True),
+            Job("b", ModelType.GOOGLENET, 32, 1, anti_collocation=True,
+                single_node=False, tags=("prod",)),
+        ]
+        path = tmp_path / "jobs.json"
+        dump_manifest(jobs, path)
+        loaded = load_manifest(path)
+        # the loader sorts by arrival time; compare order-independently
+        assert sorted(loaded, key=lambda j: j.job_id) == jobs
+
+    def test_dumps_omits_default_flags(self):
+        text = dumps_manifest([Job("a", ModelType.ALEXNET, 1, 1)])
+        assert "anti_collocation" not in text
+        assert "p2p" not in text
+        assert "single_node" not in text

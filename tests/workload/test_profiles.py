@@ -1,0 +1,80 @@
+"""Tests for the profile database built from the calibration."""
+
+import pytest
+
+from repro.workload.job import BatchClass, Job, ModelType
+from repro.workload.profiles import ProfileDatabase, default_database
+
+
+class TestDatabase:
+    def test_covers_every_model_batch_pair(self, profiles):
+        assert len(profiles) == len(ModelType) * len(BatchClass)
+        for model in ModelType:
+            for bc in BatchClass:
+                assert profiles.get(model, bc) is not None
+
+    def test_for_job_uses_batch_class(self, profiles):
+        job = Job("j", ModelType.ALEXNET, 2, 2)  # batch 2 -> tiny class
+        assert profiles.for_job(job) is profiles.get(ModelType.ALEXNET, BatchClass.TINY)
+
+    def test_unknown_pair_raises(self):
+        db = ProfileDatabase({})
+        with pytest.raises(KeyError, match="no profile"):
+            db.get(ModelType.ALEXNET, BatchClass.TINY)
+
+    def test_default_database_is_cached(self):
+        assert default_database() is default_database()
+
+
+class TestProfileShape:
+    """The profiles must encode the paper's Section 3 findings."""
+
+    def test_pack_speedup_declines_with_batch(self, profiles):
+        speedups = [
+            profiles.get(ModelType.ALEXNET, bc).pack_speedup for bc in BatchClass
+        ]
+        assert speedups == sorted(speedups, reverse=True)
+        assert speedups[0] > 1.2  # tiny: ~1.3x
+        assert speedups[-1] < 1.05  # big: parity
+
+    def test_googlenet_barely_cares_about_placement(self, profiles):
+        for bc in BatchClass:
+            assert profiles.get(ModelType.GOOGLENET, bc).pack_speedup < 1.06
+
+    def test_comm_fraction_declines_with_batch(self, profiles):
+        fractions = [
+            profiles.get(ModelType.ALEXNET, bc).comm_fraction for bc in BatchClass
+        ]
+        assert fractions == sorted(fractions, reverse=True)
+        assert fractions[0] > 0.5  # tiny is communication-bound
+        assert fractions[-1] < 0.1  # big is compute-bound
+
+    def test_bandwidth_demand_declines_with_batch(self, profiles):
+        demands = [
+            profiles.get(ModelType.ALEXNET, bc).avg_demand_gbs for bc in BatchClass
+        ]
+        assert demands == sorted(demands, reverse=True)
+        assert demands[0] > 20.0  # Fig 5: tiny saturates NVLink
+        assert demands[-1] < 6.0  # Fig 5: big barely uses it
+
+    def test_sensitivity_tracks_communication(self, profiles):
+        tiny_alex = profiles.get(ModelType.ALEXNET, BatchClass.TINY)
+        big_alex = profiles.get(ModelType.ALEXNET, BatchClass.BIG)
+        tiny_goog = profiles.get(ModelType.GOOGLENET, BatchClass.TINY)
+        assert tiny_alex.sensitivity > big_alex.sensitivity
+        assert tiny_alex.sensitivity > tiny_goog.sensitivity
+
+    def test_pressure_nearly_flat_for_alexnet(self, profiles):
+        # Fig 6: big-batch jobs still perturb others
+        tiny = profiles.get(ModelType.ALEXNET, BatchClass.TINY).pressure
+        big = profiles.get(ModelType.ALEXNET, BatchClass.BIG).pressure
+        assert big > 0.5 * tiny
+
+    def test_comm_weight_matches_convention(self, profiles):
+        assert profiles.get(ModelType.ALEXNET, BatchClass.TINY).comm_weight == 4.0
+        assert profiles.get(ModelType.ALEXNET, BatchClass.BIG).comm_weight == 1.0
+
+    def test_solo_time_scales_with_iterations(self, profiles):
+        p = profiles.get(ModelType.ALEXNET, BatchClass.TINY)
+        assert p.solo_time(200) == pytest.approx(2 * p.solo_time(100))
+        assert p.solo_time(100, packed=False) > p.solo_time(100, packed=True)
