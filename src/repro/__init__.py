@@ -70,8 +70,15 @@ from repro.schedulers import (
     TopoAwareScheduler,
     make_scheduler,
 )
-from repro.sim import SimulationResult, Simulator
-from repro.sim.engine import run_comparison
+from repro.sim import (
+    ClusterState,
+    MachineFailure,
+    SimObserver,
+    SimulationResult,
+    Simulator,
+    run_comparison,
+    run_with_observers,
+)
 
 __version__ = "1.0.0"
 
@@ -80,6 +87,7 @@ __all__ = [
     "BatchClass",
     "BestFitScheduler",
     "Calibration",
+    "ClusterState",
     "DEFAULT_CALIBRATION",
     "FCFSScheduler",
     "GeneratorConfig",
@@ -89,6 +97,7 @@ __all__ = [
     "JobProfile",
     "LinkSpec",
     "LinkType",
+    "MachineFailure",
     "ModelType",
     "NodeKind",
     "PerformanceModel",
@@ -98,6 +107,7 @@ __all__ = [
     "ProfileDatabase",
     "RandomScheduler",
     "Scheduler",
+    "SimObserver",
     "SimulationResult",
     "Simulator",
     "TopoAwareScheduler",
@@ -116,4 +126,5 @@ __all__ = [
     "power8_minsky",
     "power8_pcie_k80",
     "run_comparison",
+    "run_with_observers",
 ]

@@ -13,12 +13,12 @@ import numpy as np
 
 from repro.analysis.scenarios import scenario1_jobs, scenario2_jobs, table1_jobs
 from repro.perf.bandwidth import nvlink_bandwidth_series
-from repro.perf.calibration import DEFAULT_CALIBRATION, MachineKind
+from repro.perf.calibration import DEFAULT_CALIBRATION, MachineKind  # noqa: F401 (re-exported for callers)
 from repro.perf.interference import InterferenceModel
 from repro.perf.model import PerformanceModel, Placement
-from repro.sim.engine import SimulationResult, Simulator, run_comparison
+from repro.sim.engine import SimulationResult
+from repro.sim.runner import run_comparison
 from repro.sim.metrics import sorted_slowdowns
-from repro.schedulers import make_scheduler
 from repro.topology.allocation import AllocationState
 from repro.topology.builders import cluster, power8_minsky, power8_pcie_k80
 from repro.workload.job import BatchClass, Job, ModelType

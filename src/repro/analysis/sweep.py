@@ -14,7 +14,8 @@ from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
-from repro.sim.engine import SimulationResult, run_comparison
+from repro.sim.engine import SimulationResult
+from repro.sim.runner import run_comparison
 from repro.sim.metrics import (
     mean_waiting_time,
     qos_slowdown,

@@ -64,6 +64,8 @@ def _build_parser() -> argparse.ArgumentParser:
         if name == "simulate":
             p.add_argument("--scheduler", choices=SCHEDULER_CHOICES,
                            default="TOPO-AWARE-P")
+            p.add_argument("--gantt", action="store_true",
+                           help="also print a live-collected Gantt chart")
 
     topo = sub.add_parser("topo", help="print a machine topology")
     topo.add_argument("--machine", choices=MACHINE_CHOICES, default="power8-minsky")
@@ -133,20 +135,32 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
+    from repro.analysis.gantt import GanttObserver
     from repro.schedulers import make_scheduler
-    from repro.sim.engine import Simulator
-    from repro.sim.metrics import summarize
+    from repro.sim.metrics import UtilizationObserver, summarize
+    from repro.sim.runner import run_with_observers
 
     topo = _topology_factory(args)()
-    result = Simulator(topo, make_scheduler(args.scheduler), _generate(args)).run()
+    gantt = GanttObserver(args.scheduler)
+    utilization = UtilizationObserver(total_gpus=len(topo.gpus()))
+    result = run_with_observers(
+        topo,
+        make_scheduler(args.scheduler),
+        _generate(args),
+        observers=(gantt, utilization),
+    )
     for key, value in summarize(result).items():
         print(f"{key:>22}: {value}")
+    print(f"{'avg_utilization':>22}: {utilization.average():.3f}")
+    if args.gantt:
+        print()
+        print(gantt.chart())
     return 0
 
 
 def _cmd_compare(args) -> int:
-    from repro.sim.engine import run_comparison
     from repro.sim.metrics import comparison_table
+    from repro.sim.runner import run_comparison
 
     results = run_comparison(_topology_factory(args), _generate(args))
     print(comparison_table(list(results.values())))

@@ -6,10 +6,13 @@ to execute the system is only required to run the main file."
 :class:`PrototypeSystem` ties everything together: load the system
 config, discover (build) the topology, read the job manifest, and run
 the configured scheduling algorithm(s).  Execution is delegated to the
-simulator clock (the environment has no GPUs), but every placement also
-produces the literal enforcement command line the real system would
-execute, and per-job NVLink monitors are attached, so the prototype
-code path is exercised end to end.
+simulator clock (the environment has no GPUs), but the prototype and
+the simulator share one :class:`~repro.sim.cluster.ClusterState` — the
+same allocation, running-job and health bookkeeping — and every
+placement flows through :class:`EnforcementObserver`, which emits the
+literal launch command line the real system would execute and attaches
+a per-job NVLink monitor, so the prototype code path is exercised end
+to end.
 """
 
 from __future__ import annotations
@@ -26,9 +29,37 @@ from repro.prototype.config import (
 )
 from repro.prototype.enforcement import launch_command
 from repro.prototype.monitors import NVLinkCounterMonitor
+from repro.sim.cluster import ClusterState
 from repro.sim.engine import SimulationResult, Simulator
+from repro.sim.hooks import BaseObserver
 from repro.workload.job import Job
 from repro.workload.manifest import load_manifest
+
+
+class EnforcementObserver(BaseObserver):
+    """Turns placements into enforcement commands and monitors, live.
+
+    ``on_place`` renders the ``CUDA_VISIBLE_DEVICES``/``numactl``
+    launch line and attaches an NVLink counter monitor; a job killed by
+    a machine failure has its command and monitor revoked until it is
+    re-placed (cold restart).
+    """
+
+    def __init__(self, cluster: ClusterState) -> None:
+        self.cluster = cluster
+        self.commands: dict[str, str] = {}  # job id -> shell line
+        self.monitors: dict[str, NVLinkCounterMonitor] = {}
+
+    def on_place(self, t, job, solution, solo_exec_time, postponements):
+        gpus = tuple(sorted(solution.gpus))
+        self.commands[job.job_id] = launch_command(self.cluster.topo, job, gpus)
+        self.monitors[job.job_id] = NVLinkCounterMonitor(
+            self.cluster.perf, job, gpus
+        )
+
+    def on_requeue(self, t, job):
+        self.commands.pop(job.job_id, None)
+        self.monitors.pop(job.job_id, None)
 
 
 @dataclass
@@ -84,29 +115,22 @@ class PrototypeSystem:
         factory = self.system_config.topology_factory()
         for algo in self.algorithms:
             topo = factory()
+            cluster = ClusterState(topo, params=algo.utility_params())
+            enforcement = EnforcementObserver(cluster)
             sim = Simulator(
                 topo,
                 algo.make_scheduler(),
                 self.jobs,
-                params=algo.utility_params(),
+                cluster=cluster,
+                observers=[enforcement],
             )
             result = sim.run()
-            commands: dict[str, str] = {}
-            monitors: dict[str, NVLinkCounterMonitor] = {}
-            for rec in result.records:
-                if rec.gpus:
-                    commands[rec.job.job_id] = launch_command(
-                        topo, rec.job, rec.gpus
-                    )
-                    monitors[rec.job.job_id] = NVLinkCounterMonitor(
-                        sim.perf, rec.job, rec.gpus
-                    )
             runs.append(
                 PrototypeRun(
                     algorithm=algo,
                     result=result,
-                    commands=commands,
-                    monitors=monitors,
+                    commands=enforcement.commands,
+                    monitors=enforcement.monitors,
                 )
             )
         return runs

@@ -13,12 +13,15 @@ from __future__ import annotations
 import abc
 import bisect
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 from repro.core.placement import PlacementEngine, PlacementSolution
 from repro.topology.allocation import AllocationState
 from repro.topology.graph import TopologyGraph
 from repro.workload.job import Job
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.sim.cluster import ClusterState
 
 
 @dataclass
@@ -30,6 +33,9 @@ class SchedulingContext:
     engine: PlacementEngine
     co_runners: Mapping[str, tuple[Job, frozenset[str]]]
     now: float = 0.0
+    #: full cluster view (running jobs, rates, health); None when a
+    #: caller builds a bare context outside the simulation kernel
+    cluster: "ClusterState | None" = None
 
 
 @dataclass(order=True)
@@ -48,6 +54,26 @@ class Scheduler(abc.ABC):
     def __init__(self) -> None:
         self._queue: list[_QueueEntry] = []
         self.postponements: dict[str, int] = {}
+        self._attached_to: object | None = None
+
+    # ------------------------------------------------------------------
+    # ownership
+    # ------------------------------------------------------------------
+    def attach(self, owner: object) -> None:
+        """Claim this scheduler for one simulation/prototype run.
+
+        Scheduler instances carry queue and postponement state, so
+        reusing one across two runs silently leaks jobs from the first
+        run into the second.  The first caller wins; any later caller
+        gets a clear error instead of corrupted results.
+        """
+        if self._attached_to is not None and self._attached_to is not owner:
+            raise RuntimeError(
+                f"{type(self).__name__} is already attached to another run; "
+                "scheduler instances carry queue/postponement state, so "
+                "create a fresh scheduler per Simulator"
+            )
+        self._attached_to = owner
 
     # ------------------------------------------------------------------
     # queue management

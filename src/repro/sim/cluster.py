@@ -1,0 +1,229 @@
+"""Shared cluster state for the simulator and the prototype loop.
+
+:class:`ClusterState` is the single owner of everything "the cluster
+knows" at an instant: the topology, the GPU allocation bookkeeping,
+the calibrated performance/interference models, machine health, and
+the set of running jobs with their progress rates.  The discrete-event
+engine (:mod:`repro.sim.engine`) and the prototype main loop
+(:mod:`repro.prototype.system`) both operate on this one class instead
+of each keeping ad-hoc running-job dicts next to an
+:class:`~repro.topology.allocation.AllocationState`.
+
+Progress accounting uses the standard progress-conservation technique:
+each running job carries its *remaining solo work* in seconds and a
+progress ``rate`` (the inverse of its interference slowdown), so
+finish times are re-derived whenever allocations change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.placement import PlacementEngine, PlacementSolution
+from repro.core.utility import UtilityParams
+from repro.perf.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.perf.interference import InterferenceModel
+from repro.perf.model import PerformanceModel
+from repro.sim.events import Finish
+from repro.topology.allocation import AllocationState
+from repro.topology.graph import TopologyGraph
+from repro.workload.job import Job
+from repro.workload.profiles import ProfileDatabase
+
+#: A job whose remaining solo work is below this is considered done;
+#: above it, a pending finish event is provably stale.
+REMAINING_EPS = 1e-6
+
+#: Rate changes smaller than this do not reschedule a finish event.
+RATE_EPS = 1e-12
+
+
+@dataclass
+class RunningJob:
+    """One job currently executing on the cluster."""
+
+    job: Job
+    gpus: frozenset[str]
+    remaining: float  # solo-work seconds left
+    rate: float  # progress per simulated second (1/slowdown)
+    #: stamps Finish events; 0 means "no finish scheduled yet".  Values
+    #: are drawn from a cluster-wide monotonic counter so an event from
+    #: a job's earlier incarnation (killed by a failure, later
+    #: re-placed under the same id) can never collide with the new one.
+    version: int = 0
+
+
+class ClusterState:
+    """Mutable cluster snapshot: allocations, running jobs, health."""
+
+    def __init__(
+        self,
+        topo: TopologyGraph,
+        *,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        params: UtilityParams = UtilityParams(),
+        profiles: ProfileDatabase | None = None,
+    ) -> None:
+        self.topo = topo
+        self.calibration = calibration
+        self.alloc = AllocationState(topo)
+        self.perf = PerformanceModel(topo, calibration)
+        self.interference = InterferenceModel(topo, calibration)
+        self.engine = PlacementEngine(
+            topo, self.alloc, params, profiles, self.interference
+        )
+        self.running: dict[str, RunningJob] = {}
+        self.now = 0.0
+        self._ideal_cache: dict[tuple, float] = {}
+        self._next_version = 0
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+    def co_runners(self) -> dict[str, tuple[Job, frozenset[str]]]:
+        """The running-job view schedulers and models consume."""
+        return {
+            job_id: (run.job, run.gpus) for job_id, run in self.running.items()
+        }
+
+    def machines_of(self, gpus: Iterable[str]) -> set[str]:
+        return {self.topo.machine_of(g) for g in gpus}
+
+    def ideal_exec_time(self, job: Job) -> float:
+        """Best-pack-on-empty-cluster execution time, memoized."""
+        key = (job.model, job.batch_size, job.num_gpus, job.iterations)
+        cached = self._ideal_cache.get(key)
+        if cached is None:
+            try:
+                cached = self.perf.ideal_exec_time(job)
+            except ValueError:
+                # job larger than the whole topology: it can never be
+                # placed, so there is no ideal time (record stays 0 and
+                # the job ends up marked unplaceable)
+                cached = 0.0
+            self._ideal_cache[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # time
+    # ------------------------------------------------------------------
+    def advance_to(self, t: float) -> None:
+        """Advance the clock, burning down every running job's work."""
+        dt = t - self.now
+        if dt < 0:
+            raise RuntimeError(f"time went backwards: {self.now} -> {t}")
+        if dt > 0:
+            for run in self.running.values():
+                run.remaining -= dt * run.rate
+        self.now = t
+
+    # ------------------------------------------------------------------
+    # job lifecycle
+    # ------------------------------------------------------------------
+    def start(self, job: Job, solution: PlacementSolution) -> tuple[float, set[str]]:
+        """Begin executing a placed job.
+
+        The placement's GPUs must already be committed to ``alloc`` (the
+        scheduler enforces them during its decision round).  Returns the
+        solo execution time under this placement and the set of touched
+        machines whose co-runner rates need refreshing.
+        """
+        gpus = frozenset(solution.gpus)
+        # task-indexed GPU order: model-parallel pipelines/rings are
+        # charged per the mapping DRB chose, not an arbitrary sort
+        by_task = [
+            solution.task_mapping[t] for t in sorted(solution.task_mapping)
+        ]
+        solo = self.perf.solo_exec_time(job, by_task)
+        self.running[job.job_id] = RunningJob(
+            job=job, gpus=gpus, remaining=solo, rate=1.0, version=0
+        )
+        return solo, self.machines_of(gpus)
+
+    def finish(self, job_id: str) -> tuple[RunningJob, set[str]]:
+        """Complete a job: free its GPUs, return it + touched machines."""
+        run = self.running.pop(job_id)
+        if run.remaining > REMAINING_EPS:
+            raise RuntimeError(
+                f"{job_id} finished with {run.remaining:.3f}s work left"
+            )
+        self.alloc.release(job_id)
+        return run, self.machines_of(run.gpus)
+
+    def is_stale_finish(self, job_id: str, version: int) -> bool:
+        """True when a Finish event no longer matches the running job."""
+        run = self.running.get(job_id)
+        return run is None or run.version != version
+
+    # ------------------------------------------------------------------
+    # machine health
+    # ------------------------------------------------------------------
+    def fail_machine(self, machine: str) -> tuple[list[RunningJob], set[str]]:
+        """Fail-stop a machine: kill its jobs, free their GPUs.
+
+        Returns the killed jobs (arrival order is the sorted job-id
+        order ``AllocationState`` reports) and the touched machines —
+        a spanning job may hold GPUs on healthy machines too, and its
+        neighbours speed back up once it dies.  Resubmission is the
+        caller's job: the engine re-queues, observers reset records.
+        """
+        victim_ids = self.alloc.set_machine_down(machine)
+        touched = {machine}
+        victims: list[RunningJob] = []
+        for job_id in victim_ids:
+            run = self.running.pop(job_id, None)
+            if run is None:
+                continue
+            touched |= self.machines_of(run.gpus)
+            self.alloc.release(job_id)
+            victims.append(run)
+        return victims, touched
+
+    def recover_machine(self, machine: str) -> None:
+        self.alloc.set_machine_up(machine)
+
+    # ------------------------------------------------------------------
+    # rate maintenance
+    # ------------------------------------------------------------------
+    def refresh_rates(self, touched_machines: set[str]) -> list[Finish]:
+        """Recompute progress rates for jobs near changed machines.
+
+        Every job whose rate changed (or that just started,
+        ``version == 0``) gets its version bumped and a fresh
+        :class:`~repro.sim.events.Finish` event returned for the engine
+        to enqueue; any previously scheduled finish is thereby stale.
+        """
+        if not touched_machines:
+            return []
+        co = self.co_runners()
+        affected: set[str] = set()
+        for m in touched_machines:
+            affected |= self.alloc.jobs_on_machine(m)
+        fresh: list[Finish] = []
+        for job_id in sorted(affected):
+            run = self.running.get(job_id)
+            if run is None:
+                continue
+            factor = self.interference.slowdown_factor(
+                run.job, run.gpus, co, self.alloc
+            )
+            new_rate = 1.0 / factor
+            if abs(new_rate - run.rate) > RATE_EPS or run.version == 0:
+                run.rate = new_rate
+                self._next_version += 1
+                run.version = self._next_version
+                fresh.append(
+                    Finish(
+                        time=self.now + run.remaining / run.rate,
+                        job_id=job_id,
+                        version=run.version,
+                    )
+                )
+        return fresh
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ClusterState(now={self.now:.3f}, running={len(self.running)}, "
+            f"alloc={self.alloc!r})"
+        )

@@ -1,120 +1,63 @@
-"""Discrete-event simulation engine.
+"""Discrete-event simulation engine (thin orchestrator).
 
-Event kinds: job ARRIVAL and job FINISH.  The scheduler runs after
-every batch of simultaneous events (the paper's Algorithm 1 "wakeup
-after an event, e.g. a job has finished").  Each running job carries
-its *remaining solo work* in seconds; its progress rate is the inverse
-of its current interference slowdown factor, so finish times are
-re-derived whenever allocations change.  Stale finish events are
-version-guarded.
+The kernel is layered (see DESIGN.md §3):
+
+* :mod:`repro.sim.events` — typed events and the versioned
+  :class:`~repro.sim.events.EventQueue`;
+* :mod:`repro.sim.cluster` — :class:`~repro.sim.cluster.ClusterState`,
+  the single owner of allocations, running jobs and progress rates;
+* :mod:`repro.sim.hooks` — :class:`~repro.sim.hooks.SimObserver`
+  taps for record keeping, accounting, Gantt/metrics timelines;
+* this module — :class:`Simulator`, which only wires queue + cluster +
+  scheduler + observers together.
+
+The scheduler runs after every batch of simultaneous events (the
+paper's Algorithm 1 "wakeup after an event, e.g. a job has finished").
+Each running job carries its *remaining solo work* in seconds; its
+progress rate is the inverse of its current interference slowdown
+factor, so finish times are re-derived whenever allocations change.
+Stale finish events are version-guarded.
+
+``JobRecord``, ``SimulationResult`` and ``MachineFailure`` are
+re-exported here for backwards compatibility; their homes are
+:mod:`repro.sim.records` and :mod:`repro.sim.events`.
 """
 
 from __future__ import annotations
 
-import heapq
 import time as _time
-from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable
 
-from repro.core.placement import PlacementEngine, PlacementSolution
 from repro.core.utility import UtilityParams
 from repro.perf.calibration import Calibration, DEFAULT_CALIBRATION
-from repro.perf.interference import InterferenceModel
-from repro.perf.model import PerformanceModel
 from repro.schedulers.base import Scheduler, SchedulingContext
-from repro.topology.allocation import AllocationState
+from repro.sim.cluster import ClusterState
+from repro.sim.events import (
+    Arrival,
+    EventQueue,
+    Failure,
+    Finish,
+    MachineFailure,
+    Recovery,
+)
+from repro.sim.hooks import (
+    CompositeObserver,
+    DecisionAccounting,
+    RecordKeeper,
+    SimObserver,
+)
+from repro.sim.records import JobRecord, SimulationResult
 from repro.topology.graph import TopologyGraph
 from repro.workload.job import Job
 from repro.workload.profiles import ProfileDatabase
 
-
-@dataclass
-class JobRecord:
-    """Everything measured about one job across its simulated life."""
-
-    job: Job
-    arrival: float
-    placed_at: float | None = None
-    finished_at: float | None = None
-    gpus: tuple[str, ...] = ()
-    utility: float | None = None
-    p2p: bool | None = None
-    solo_exec_time: float | None = None  # placement-determined, no interference
-    ideal_exec_time: float = 0.0  # best pack placement on empty cluster
-    postponements: int = 0
-    unplaceable: bool = False
-    restarts: int = 0  # times the job was killed by a machine failure
-
-    @property
-    def waiting_time(self) -> float | None:
-        if self.placed_at is None:
-            return None
-        return self.placed_at - self.arrival
-
-    @property
-    def exec_time(self) -> float | None:
-        if self.finished_at is None or self.placed_at is None:
-            return None
-        return self.finished_at - self.placed_at
-
-
-@dataclass
-class SimulationResult:
-    """Output of one simulation run."""
-
-    scheduler_name: str
-    records: list[JobRecord]
-    makespan: float
-    decision_time_s: float  # wall-clock spent inside scheduler.schedule
-    decision_rounds: int
-
-    @property
-    def mean_decision_time_s(self) -> float:
-        if self.decision_rounds == 0:
-            return 0.0
-        return self.decision_time_s / self.decision_rounds
-
-    def record_of(self, job_id: str) -> JobRecord:
-        for rec in self.records:
-            if rec.job.job_id == job_id:
-                return rec
-        raise KeyError(job_id)
-
-
-_ARRIVAL = 0
-_FINISH = 1
-_FAILURE = 2
-_RECOVERY = 3
-
-
-@dataclass(frozen=True)
-class MachineFailure:
-    """A fail-stop machine outage injected into a simulation.
-
-    Jobs running on the machine at ``at_time`` are killed and
-    resubmitted to the scheduler (cold restart: training state is
-    lost, as with a checkpoint-free Caffe run).  ``duration_s=None``
-    means the machine never comes back.
-    """
-
-    machine: str
-    at_time: float
-    duration_s: float | None = None
-
-    def __post_init__(self) -> None:
-        if self.at_time < 0:
-            raise ValueError("at_time must be >= 0")
-        if self.duration_s is not None and self.duration_s <= 0:
-            raise ValueError("duration_s must be positive (or None)")
-
-
-@dataclass
-class _Running:
-    job: Job
-    gpus: frozenset[str]
-    remaining: float  # solo-work seconds left
-    rate: float  # progress per simulated second (1/slowdown)
-    version: int = 0
+__all__ = [
+    "JobRecord",
+    "MachineFailure",
+    "SimulationResult",
+    "Simulator",
+    "run_comparison",
+]
 
 
 class Simulator:
@@ -130,26 +73,25 @@ class Simulator:
         params: UtilityParams = UtilityParams(),
         profiles: ProfileDatabase | None = None,
         failures: Iterable[MachineFailure] = (),
+        cluster: ClusterState | None = None,
+        observers: Iterable[SimObserver] = (),
     ) -> None:
         self.topo = topo
         self.scheduler = scheduler
+        scheduler.attach(self)
         self.jobs: list[Job] = sorted(jobs, key=lambda j: (j.arrival_time, j.job_id))
         ids = [j.job_id for j in self.jobs]
         if len(set(ids)) != len(ids):
             raise ValueError("duplicate job ids in trace")
-        self.calibration = calibration
-        self.alloc = AllocationState(topo)
-        self.perf = PerformanceModel(topo, calibration)
-        self.interference = InterferenceModel(topo, calibration)
-        self.engine = PlacementEngine(
-            topo, self.alloc, params, profiles, self.interference
-        )
-        self._records: dict[str, JobRecord] = {}
-        self._running: dict[str, _Running] = {}
-        self._heap: list[tuple[float, int, int, str]] = []
-        self._seq = 0
-        self._now = 0.0
-        self._ideal_cache: dict[tuple, float] = {}
+        if cluster is None:
+            cluster = ClusterState(
+                topo, calibration=calibration, params=params, profiles=profiles
+            )
+        elif cluster.topo is not topo:
+            raise ValueError("cluster was built for a different topology")
+        self.cluster = cluster
+        self.calibration = cluster.calibration
+        self.observers = list(observers)
         self.failures = sorted(failures, key=lambda f: f.at_time)
         machines = set(topo.machines())
         for failure in self.failures:
@@ -157,205 +99,125 @@ class Simulator:
                 raise ValueError(f"failure names unknown machine {failure.machine!r}")
 
     # ------------------------------------------------------------------
-    def _push(self, when: float, kind: int, job_id: str) -> None:
-        self._seq += 1
-        heapq.heappush(self._heap, (when, kind, self._seq, job_id))
+    # cluster-state views (back-compat with the pre-layered engine)
+    # ------------------------------------------------------------------
+    @property
+    def alloc(self):
+        return self.cluster.alloc
 
-    def _ideal_time(self, job: Job) -> float:
-        key = (job.model, job.batch_size, job.num_gpus, job.iterations)
-        cached = self._ideal_cache.get(key)
-        if cached is None:
-            try:
-                cached = self.perf.ideal_exec_time(job)
-            except ValueError:
-                # job larger than the whole topology: it can never be
-                # placed, so there is no ideal time (record stays 0 and
-                # the job ends up marked unplaceable)
-                cached = 0.0
-            self._ideal_cache[key] = cached
-        return cached
+    @property
+    def perf(self):
+        return self.cluster.perf
 
-    def _advance_progress(self, t: float) -> None:
-        dt = t - self._now
-        if dt < 0:
-            raise RuntimeError(f"time went backwards: {self._now} -> {t}")
-        if dt > 0:
-            for run in self._running.values():
-                run.remaining -= dt * run.rate
-        self._now = t
+    @property
+    def interference(self):
+        return self.cluster.interference
 
-    def _co_runners(self) -> dict[str, tuple[Job, frozenset[str]]]:
-        return {
-            job_id: (run.job, run.gpus) for job_id, run in self._running.items()
-        }
-
-    def _refresh_rates(self, touched_machines: set[str]) -> None:
-        """Recompute rates/finish events for jobs near changed machines."""
-        if not touched_machines:
-            return
-        co = self._co_runners()
-        affected: set[str] = set()
-        for m in touched_machines:
-            affected |= self.alloc.jobs_on_machine(m)
-        for job_id in affected:
-            run = self._running.get(job_id)
-            if run is None:
-                continue
-            factor = self.interference.slowdown_factor(
-                run.job, run.gpus, co, self.alloc
-            )
-            new_rate = 1.0 / factor
-            if abs(new_rate - run.rate) > 1e-12 or run.version == 0:
-                run.rate = new_rate
-                run.version += 1
-                self._push(
-                    self._now + run.remaining / run.rate, _FINISH, job_id
-                )
-
-    def _start_job(self, solution: PlacementSolution) -> set[str]:
-        rec = self._records[solution.job_id]
-        job = rec.job
-        gpus = frozenset(solution.gpus)
-        # task-indexed GPU order: model-parallel pipelines/rings are
-        # charged per the mapping DRB chose, not an arbitrary sort
-        by_task = [
-            solution.task_mapping[t] for t in sorted(solution.task_mapping)
-        ]
-        solo = self.perf.solo_exec_time(job, by_task)
-        rec.placed_at = self._now
-        rec.gpus = tuple(sorted(gpus))
-        rec.utility = solution.utility
-        rec.p2p = solution.p2p
-        rec.solo_exec_time = solo
-        rec.postponements = self.scheduler.postponements.get(job.job_id, 0)
-        self._running[job.job_id] = _Running(
-            job=job, gpus=gpus, remaining=solo, rate=1.0, version=0
-        )
-        return {self.topo.machine_of(g) for g in gpus}
-
-    def _finish_job(self, job_id: str) -> set[str]:
-        run = self._running.pop(job_id)
-        if run.remaining > 1e-6:
-            raise RuntimeError(
-                f"{job_id} finished with {run.remaining:.3f}s work left"
-            )
-        self.alloc.release(job_id)
-        rec = self._records[job_id]
-        rec.finished_at = self._now
-        return {self.topo.machine_of(g) for g in run.gpus}
-
-    def _fail_machine(self, machine: str) -> set[str]:
-        """Fail-stop a machine: kill and resubmit its jobs."""
-        victims = self.alloc.set_machine_down(machine)
-        touched = {machine}
-        for job_id in victims:
-            run = self._running.pop(job_id, None)
-            if run is None:
-                continue
-            # a spanning job may hold GPUs on healthy machines too;
-            # their neighbours speed back up once it dies
-            touched |= {self.topo.machine_of(g) for g in run.gpus}
-            self.alloc.release(job_id)
-            rec = self._records[job_id]
-            rec.restarts += 1
-            rec.placed_at = None
-            rec.gpus = ()
-            rec.utility = None
-            rec.p2p = None
-            rec.solo_exec_time = None
-            self.scheduler.submit(run.job)
-        return touched
+    @property
+    def engine(self):
+        return self.cluster.engine
 
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
         """Run to completion and return per-job records."""
+        cluster = self.cluster
+        scheduler = self.scheduler
+        records = RecordKeeper()
+        accounting = DecisionAccounting()
+        notify = CompositeObserver([records, accounting, *self.observers])
+
+        queue = EventQueue()
+        jobs_by_id: dict[str, Job] = {}
         for job in self.jobs:
-            self._records[job.job_id] = JobRecord(
-                job=job,
-                arrival=job.arrival_time,
-                ideal_exec_time=self._ideal_time(job),
-            )
-            self._push(job.arrival_time, _ARRIVAL, job.job_id)
+            jobs_by_id[job.job_id] = job
+            records.register(job, cluster.ideal_exec_time(job))
+            queue.push(Arrival(job.arrival_time, job.job_id))
         for failure in self.failures:
-            self._push(failure.at_time, _FAILURE, failure.machine)
+            queue.push(Failure(failure.at_time, failure.machine))
             if failure.duration_s is not None:
-                self._push(
-                    failure.at_time + failure.duration_s,
-                    _RECOVERY,
-                    failure.machine,
+                queue.push(
+                    Recovery(failure.at_time + failure.duration_s, failure.machine)
                 )
 
-        decision_time = 0.0
-        rounds = 0
-        while self._heap:
-            t = self._heap[0][0]
-            self._advance_progress(t)
+        while queue:
+            t = queue.next_time()
+            cluster.advance_to(t)
             touched: set[str] = set()
             # drain all events at time t before scheduling
-            while self._heap and self._heap[0][0] <= t + 1e-12:
-                _, kind, _, payload = heapq.heappop(self._heap)
-                if kind == _ARRIVAL:
-                    self.scheduler.submit(self._records[payload].job)
-                elif kind == _FAILURE:
-                    touched |= self._fail_machine(payload)
-                elif kind == _RECOVERY:
-                    self.alloc.set_machine_up(payload)
-                else:
-                    run = self._running.get(payload)
-                    if run is None or run.remaining > 1e-6:
-                        continue  # stale finish event
-                    touched |= self._finish_job(payload)
+            for event in queue.pop_due(t):
+                if isinstance(event, Arrival):
+                    job = jobs_by_id[event.job_id]
+                    scheduler.submit(job)
+                    notify.on_arrival(t, job)
+                elif isinstance(event, Finish):
+                    if cluster.is_stale_finish(event.job_id, event.version):
+                        continue
+                    run, machines = cluster.finish(event.job_id)
+                    touched |= machines
+                    notify.on_finish(t, run.job, run.gpus)
+                elif isinstance(event, Failure):
+                    victims, machines = cluster.fail_machine(event.machine)
+                    touched |= machines
+                    notify.on_failure(t, event.machine, [v.job for v in victims])
+                    for victim in victims:
+                        scheduler.submit(victim.job)
+                        notify.on_requeue(t, victim.job)
+                else:  # Recovery
+                    cluster.recover_machine(event.machine)
             ctx = SchedulingContext(
                 topo=self.topo,
-                alloc=self.alloc,
-                engine=self.engine,
-                co_runners=self._co_runners(),
-                now=self._now,
+                alloc=cluster.alloc,
+                engine=cluster.engine,
+                co_runners=cluster.co_runners(),
+                now=cluster.now,
+                cluster=cluster,
             )
             t0 = _time.perf_counter()
-            placements = self.scheduler.schedule(ctx)
-            decision_time += _time.perf_counter() - t0
-            rounds += 1
+            placements = scheduler.schedule(ctx)
+            elapsed = _time.perf_counter() - t0
             for solution in placements:
-                touched |= self._start_job(solution)
-            self._refresh_rates(touched)
-            if not self._heap and self.scheduler.queue_length() > 0:
-                if not self._running:
+                job = jobs_by_id[solution.job_id]
+                solo, machines = cluster.start(job, solution)
+                touched |= machines
+                notify.on_place(
+                    t,
+                    job,
+                    solution,
+                    solo,
+                    scheduler.postponements.get(job.job_id, 0),
+                )
+            notify.on_decision_round(
+                t, placements, scheduler.queue_length(), elapsed
+            )
+            for finish in cluster.refresh_rates(touched):
+                queue.push(finish)
+            if not queue and scheduler.queue_length() > 0:
+                if not cluster.running:
                     # nothing can unblock the queue: mark unplaceable
-                    for job in self.scheduler.queued_jobs():
-                        self._records[job.job_id].unplaceable = True
+                    records.mark_unplaceable(
+                        job.job_id for job in scheduler.queued_jobs()
+                    )
                     break
 
-        records = [self._records[j.job_id] for j in self.jobs]
+        record_list = [records.record_of(j.job_id) for j in self.jobs]
         makespan = max(
-            (r.finished_at for r in records if r.finished_at is not None),
+            (r.finished_at for r in record_list if r.finished_at is not None),
             default=0.0,
         )
         return SimulationResult(
-            scheduler_name=self.scheduler.name,
-            records=records,
+            scheduler_name=scheduler.name,
+            records=record_list,
             makespan=makespan,
-            decision_time_s=decision_time,
-            decision_rounds=rounds,
+            decision_time_s=accounting.decision_time_s,
+            decision_rounds=accounting.rounds,
         )
 
 
-def run_comparison(
-    topo_factory,
-    jobs: Sequence[Job],
-    scheduler_names: Sequence[str] = ("BF", "FCFS", "TOPO-AWARE", "TOPO-AWARE-P"),
-    **sim_kwargs,
-) -> dict[str, SimulationResult]:
-    """Run the same trace under several policies on fresh topologies.
+def __getattr__(name: str):
+    # run_comparison moved to repro.sim.runner; keep the old import path
+    # working without a circular module-level import.
+    if name == "run_comparison":
+        from repro.sim.runner import run_comparison
 
-    ``topo_factory`` is called once per policy so allocation state and
-    caches never leak between runs.
-    """
-    from repro.schedulers import make_scheduler
-
-    results: dict[str, SimulationResult] = {}
-    for name in scheduler_names:
-        topo = topo_factory()
-        sim = Simulator(topo, make_scheduler(name), list(jobs), **sim_kwargs)
-        results[name] = sim.run()
-    return results
+        return run_comparison
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

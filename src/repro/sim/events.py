@@ -1,0 +1,131 @@
+"""Typed simulation events and the versioned priority queue.
+
+The seed engine kept bare ``(when, kind, seq, payload)`` heap tuples
+with integer kind codes and an *implicit* stale-finish convention
+(a finish event was ignored when the job still had work left).  This
+module replaces both: events are frozen dataclasses, and
+:class:`Finish` carries the running job's rate *version* so staleness
+is an explicit equality check instead of a floating-point heuristic.
+
+Ordering is bit-compatible with the seed tuples: events sort by
+``(time, kind priority, insertion sequence)`` where the kind priority
+preserves the original ``ARRIVAL < FINISH < FAILURE < RECOVERY``
+integer codes, and the insertion sequence keeps simultaneous pushes
+FIFO.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+#: Two event timestamps closer than this are "simultaneous": the engine
+#: drains them in one batch before waking the scheduler.
+SIMULTANEITY_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """A job enters the system and joins the scheduler queue."""
+
+    time: float
+    job_id: str
+
+
+@dataclass(frozen=True)
+class Finish:
+    """A running job's remaining work hits zero.
+
+    ``version`` snapshots the job's rate version when the event was
+    scheduled; the event is stale (and must be dropped) unless it still
+    matches the running job's current version — every rate change bumps
+    the version and enqueues a fresh ``Finish``.
+    """
+
+    time: float
+    job_id: str
+    version: int
+
+
+@dataclass(frozen=True)
+class Failure:
+    """A machine fail-stops; its jobs are killed and resubmitted."""
+
+    time: float
+    machine: str
+
+
+@dataclass(frozen=True)
+class Recovery:
+    """A previously failed machine comes back with empty GPUs."""
+
+    time: float
+    machine: str
+
+
+Event = Union[Arrival, Finish, Failure, Recovery]
+
+#: Same-time tie-break between kinds, matching the seed's integer codes.
+_KIND_PRIORITY: dict[type, int] = {Arrival: 0, Finish: 1, Failure: 2, Recovery: 3}
+
+
+@dataclass(frozen=True)
+class MachineFailure:
+    """A fail-stop machine outage injected into a simulation.
+
+    Jobs running on the machine at ``at_time`` are killed and
+    resubmitted to the scheduler (cold restart: training state is
+    lost, as with a checkpoint-free Caffe run).  ``duration_s=None``
+    means the machine never comes back.
+    """
+
+    machine: str
+    at_time: float
+    duration_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.at_time < 0:
+            raise ValueError("at_time must be >= 0")
+        if self.duration_s is not None and self.duration_s <= 0:
+            raise ValueError("duration_s must be positive (or None)")
+
+
+class EventQueue:
+    """Priority queue over typed events with deterministic ordering."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+
+    def push(self, event: Event) -> None:
+        priority = _KIND_PRIORITY.get(type(event))
+        if priority is None:
+            raise TypeError(f"not a simulation event: {event!r}")
+        self._seq += 1
+        heapq.heappush(self._heap, (event.time, priority, self._seq, event))
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def next_time(self) -> float | None:
+        """Timestamp of the earliest pending event, or None when empty."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise IndexError("pop from empty EventQueue")
+        return heapq.heappop(self._heap)[3]
+
+    def pop_due(self, t: float, eps: float = SIMULTANEITY_EPS) -> Iterator[Event]:
+        """Pop every event with timestamp <= ``t + eps``, in order."""
+        while self._heap and self._heap[0][0] <= t + eps:
+            yield heapq.heappop(self._heap)[3]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EventQueue(pending={len(self._heap)})"

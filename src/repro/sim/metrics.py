@@ -19,7 +19,8 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.sim.engine import JobRecord, SimulationResult
+from repro.sim.hooks import BaseObserver
+from repro.sim.records import JobRecord, SimulationResult
 
 
 def qos_slowdown(record: JobRecord) -> float:
@@ -165,6 +166,58 @@ def summarize(result: SimulationResult) -> dict:
         "slo_violations": len(slo_violations(result.records)),
         "mean_decision_time_s": result.mean_decision_time_s,
     }
+
+
+class UtilizationObserver(BaseObserver):
+    """Live GPU-utilization step series from the simulation event stream.
+
+    Tracks the busy-GPU count at every placement, completion and
+    failure, producing the exact step function the sampled
+    :func:`utilization_timeline` approximates from records — including
+    occupancy by placements a later machine failure voids.
+    """
+
+    def __init__(self, total_gpus: int) -> None:
+        if total_gpus < 1:
+            raise ValueError("total_gpus must be >= 1")
+        self.total_gpus = total_gpus
+        self._busy = 0
+        self._held: dict[str, int] = {}  # job id -> GPUs it occupies
+        self.steps: list[tuple[float, float]] = []  # (time, busy fraction)
+
+    def _step(self, t: float) -> None:
+        self.steps.append((t, self._busy / self.total_gpus))
+
+    def on_place(self, t, job, solution, solo_exec_time, postponements):
+        self._held[job.job_id] = len(solution.gpus)
+        self._busy += self._held[job.job_id]
+        self._step(t)
+
+    def on_finish(self, t, job, gpus):
+        self._busy -= self._held.pop(job.job_id, 0)
+        self._step(t)
+
+    def on_failure(self, t, machine, victims):
+        for job in victims:
+            self._busy -= self._held.pop(job.job_id, 0)
+        if victims:
+            self._step(t)
+
+    def timeline(self) -> tuple[np.ndarray, np.ndarray]:
+        """(times, busy fraction) step series, one point per change."""
+        if not self.steps:
+            return np.array([0.0]), np.array([0.0])
+        times, util = zip(*self.steps)
+        return np.array(times), np.array(util)
+
+    def average(self) -> float:
+        """Time-weighted mean utilization across the observed span."""
+        times, util = self.timeline()
+        if len(times) < 2 or times[-1] <= times[0]:
+            return 0.0
+        # step function: each level holds until the next change point
+        widths = np.diff(times)
+        return float(np.sum(util[:-1] * widths) / (times[-1] - times[0]))
 
 
 def comparison_table(results: Sequence[SimulationResult]) -> str:

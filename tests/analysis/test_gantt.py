@@ -99,3 +99,62 @@ class TestUtilityTimeline:
     def test_validation(self):
         with pytest.raises(ValueError):
             utility_timeline([], n_samples=1)
+
+
+class TestGanttObserver:
+    """Live observer output matches the post-hoc record rendering."""
+
+    def test_live_chart_matches_record_chart(self):
+        from repro.analysis.gantt import GanttObserver
+        from repro.analysis.scenarios import table1_jobs
+        from repro.schedulers import make_scheduler
+        from repro.sim.runner import run_with_observers
+        from repro.topology.builders import power8_minsky
+
+        observer = GanttObserver("TOPO-AWARE")
+        result = run_with_observers(
+            power8_minsky(),
+            make_scheduler("TOPO-AWARE"),
+            table1_jobs(),
+            observers=[observer],
+        )
+        assert observer.chart() == gantt_chart(result)
+
+    def test_live_utility_series_matches_records(self):
+        from repro.analysis.gantt import UtilityTimelineObserver
+        from repro.analysis.scenarios import table1_jobs
+        from repro.schedulers import make_scheduler
+        from repro.sim.runner import run_with_observers
+        from repro.topology.builders import power8_minsky
+
+        observer = UtilityTimelineObserver()
+        result = run_with_observers(
+            power8_minsky(),
+            make_scheduler("TOPO-AWARE"),
+            table1_jobs(),
+            observers=[observer],
+        )
+        times_obs, means_obs = observer.series()
+        times_rec, means_rec = utility_timeline(result.records)
+        np.testing.assert_allclose(times_obs, times_rec)
+        np.testing.assert_allclose(means_obs, means_rec)
+
+    def test_failure_splits_span(self):
+        from repro.analysis.gantt import GanttObserver
+        from repro.schedulers import make_scheduler
+        from repro.sim.engine import MachineFailure
+        from repro.sim.runner import run_with_observers
+        from repro.topology.builders import power8_minsky
+
+        observer = GanttObserver()
+        run_with_observers(
+            power8_minsky(),
+            make_scheduler("FCFS"),
+            [make_job("victim", num_gpus=2, iterations=2000, arrival_time=0.0)],
+            failures=[MachineFailure("m0", at_time=5.0, duration_s=10.0)],
+            observers=[observer],
+        )
+        spans = [s for s in observer.spans if s.job_id == "victim"]
+        assert len(spans) == 2  # pre-failure segment + restart segment
+        assert spans[0].end == pytest.approx(5.0)
+        assert spans[1].start >= 15.0

@@ -1,0 +1,124 @@
+"""Unit tests for the typed event queue and stale-version semantics."""
+
+import pytest
+
+from repro.sim.cluster import ClusterState, RunningJob
+from repro.sim.events import (
+    SIMULTANEITY_EPS,
+    Arrival,
+    EventQueue,
+    Failure,
+    Finish,
+    Recovery,
+)
+from repro.topology.builders import power8_minsky
+
+from tests.conftest import make_job
+
+
+class TestOrdering:
+    def test_time_ordering(self):
+        q = EventQueue()
+        q.push(Arrival(5.0, "b"))
+        q.push(Arrival(1.0, "a"))
+        q.push(Arrival(3.0, "c"))
+        assert [q.pop().job_id for _ in range(3)] == ["a", "c", "b"]
+
+    def test_kind_priority_at_equal_time(self):
+        """At one timestamp: arrivals < finishes < failures < recoveries."""
+        q = EventQueue()
+        q.push(Recovery(2.0, "m0"))
+        q.push(Finish(2.0, "j", version=1))
+        q.push(Failure(2.0, "m1"))
+        q.push(Arrival(2.0, "a"))
+        kinds = [type(q.pop()) for _ in range(4)]
+        assert kinds == [Arrival, Finish, Failure, Recovery]
+
+    def test_fifo_among_same_kind_same_time(self):
+        q = EventQueue()
+        for job_id in ("first", "second", "third"):
+            q.push(Arrival(1.0, job_id))
+        assert [q.pop().job_id for _ in range(3)] == ["first", "second", "third"]
+
+    def test_next_time_and_len(self):
+        q = EventQueue()
+        assert q.next_time() is None
+        assert len(q) == 0 and not q
+        q.push(Arrival(4.2, "a"))
+        assert q.next_time() == 4.2
+        assert len(q) == 1 and q
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_rejects_non_events(self):
+        q = EventQueue()
+        with pytest.raises(TypeError, match="not a simulation event"):
+            q.push((1.0, 0, 1, "job"))
+
+
+class TestPopDue:
+    def test_drains_simultaneous_batch_only(self):
+        q = EventQueue()
+        q.push(Arrival(1.0, "a"))
+        q.push(Arrival(1.0 + SIMULTANEITY_EPS / 2, "b"))  # same instant
+        q.push(Arrival(2.0, "c"))
+        drained = [e.job_id for e in q.pop_due(1.0)]
+        assert drained == ["a", "b"]
+        assert q.next_time() == 2.0
+
+    def test_pop_due_on_empty_queue(self):
+        assert list(EventQueue().pop_due(10.0)) == []
+
+
+class TestStaleVersions:
+    def _cluster_with_running(self):
+        topo = power8_minsky()
+        cluster = ClusterState(topo)
+        job = make_job("j", num_gpus=1)
+        cluster.running["j"] = RunningJob(
+            job=job, gpus=frozenset({"m0/gpu0"}), remaining=10.0, rate=1.0,
+            version=3,
+        )
+        return cluster
+
+    def test_matching_version_is_fresh(self):
+        cluster = self._cluster_with_running()
+        assert not cluster.is_stale_finish("j", 3)
+
+    def test_outdated_version_is_stale(self):
+        cluster = self._cluster_with_running()
+        assert cluster.is_stale_finish("j", 2)
+
+    def test_unknown_job_is_stale(self):
+        cluster = self._cluster_with_running()
+        assert cluster.is_stale_finish("ghost", 1)
+
+    def test_versions_monotonic_across_restarts(self):
+        """A re-placed job must never reuse a version an old Finish holds."""
+        topo = power8_minsky()
+        cluster = ClusterState(topo)
+        job = make_job("j", num_gpus=1, iterations=50)
+
+        sol = cluster.engine.propose(job)
+        cluster.engine.enforce(sol)
+        cluster.start(job, sol)
+        first = cluster.refresh_rates({"m0"})
+        assert len(first) == 1 and first[0].version >= 1
+
+        # kill it (failure path releases the allocation) and re-place
+        cluster.fail_machine("m0")
+        cluster.recover_machine("m0")
+        sol2 = cluster.engine.propose(job)
+        cluster.engine.enforce(sol2)
+        cluster.start(job, sol2)
+        second = cluster.refresh_rates({"m0"})
+        assert len(second) == 1
+        assert second[0].version > first[0].version
+        # the first incarnation's finish event is now provably stale
+        assert cluster.is_stale_finish("j", first[0].version)
+
+    def test_refresh_returns_no_events_for_untouched_machines(self):
+        cluster = ClusterState(power8_minsky())
+        assert cluster.refresh_rates(set()) == []

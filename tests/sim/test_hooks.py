@@ -1,0 +1,173 @@
+"""Observer dispatch, record keeping, and engine/observer integration."""
+
+import pytest
+
+from repro.schedulers import make_scheduler
+from repro.sim.cluster import ClusterState
+from repro.sim.engine import MachineFailure, Simulator
+from repro.sim.hooks import BaseObserver, CompositeObserver, RecordKeeper
+from repro.sim.runner import run_with_observers
+from repro.topology.builders import cluster, power8_minsky
+
+from tests.conftest import make_job
+
+
+class EventLog(BaseObserver):
+    """Records every hook invocation as (hook, time, subject)."""
+
+    def __init__(self, log=None, tag=""):
+        self.log = log if log is not None else []
+        self.tag = tag
+
+    def _note(self, hook, t, subject):
+        self.log.append((self.tag + hook if self.tag else hook, t, subject))
+
+    def on_arrival(self, t, job):
+        self._note("arrival", t, job.job_id)
+
+    def on_place(self, t, job, solution, solo_exec_time, postponements):
+        self._note("place", t, job.job_id)
+
+    def on_finish(self, t, job, gpus):
+        self._note("finish", t, job.job_id)
+
+    def on_failure(self, t, machine, victims):
+        self._note("failure", t, machine)
+
+    def on_requeue(self, t, job):
+        self._note("requeue", t, job.job_id)
+
+    def on_decision_round(self, t, placed, queued, elapsed_s):
+        self._note("round", t, len(placed))
+
+
+class TestCompositeDispatch:
+    def test_dispatch_order_is_attach_order(self):
+        log = []
+        composite = CompositeObserver(
+            [EventLog(log, tag="a:"), EventLog(log, tag="b:")]
+        )
+        composite.add(EventLog(log, tag="c:"))
+        job = make_job("j")
+        composite.on_arrival(1.0, job)
+        assert [entry[0] for entry in log] == ["a:arrival", "b:arrival", "c:arrival"]
+
+    def test_every_hook_fans_out(self):
+        log = []
+        composite = CompositeObserver([EventLog(log)])
+        job = make_job("j")
+        composite.on_failure(2.0, "m0", [job])
+        composite.on_requeue(2.0, job)
+        composite.on_decision_round(2.0, [], 1, 0.01)
+        assert [entry[0] for entry in log] == ["failure", "requeue", "round"]
+
+
+class TestEngineEmitsHooks:
+    def test_lifecycle_sequence_for_one_job(self):
+        log = EventLog()
+        job = make_job("solo", num_gpus=2, iterations=100, arrival_time=5.0)
+        result = run_with_observers(
+            power8_minsky(), make_scheduler("FCFS"), [job], observers=[log]
+        )
+        hooks = [entry[0] for entry in log.log]
+        assert hooks[0] == "arrival"
+        assert "place" in hooks and "finish" in hooks
+        assert hooks.index("arrival") < hooks.index("place") < hooks.index("finish")
+        # every event batch is followed by a decision round
+        assert hooks.count("round") == result.decision_rounds
+
+    def test_failure_hooks_fire_with_victims(self):
+        log = EventLog()
+        job = make_job("victim", num_gpus=2, iterations=2000, arrival_time=0.0)
+        run_with_observers(
+            power8_minsky(),
+            make_scheduler("FCFS"),
+            [job],
+            failures=[MachineFailure("m0", at_time=5.0, duration_s=10.0)],
+            observers=[log],
+        )
+        hooks = [entry[0] for entry in log.log]
+        assert "failure" in hooks
+        assert "requeue" in hooks
+        assert hooks.count("place") == 2  # initial placement + restart
+
+    def test_observer_times_match_records(self):
+        log = EventLog()
+        jobs = [make_job(f"j{i}", num_gpus=1, iterations=80, arrival_time=float(i))
+                for i in range(4)]
+        result = run_with_observers(
+            power8_minsky(), make_scheduler("TOPO-AWARE"), jobs, observers=[log]
+        )
+        placed = {s: t for h, t, s in log.log if h == "place"}
+        finished = {s: t for h, t, s in log.log if h == "finish"}
+        for rec in result.records:
+            assert placed[rec.job.job_id] == rec.placed_at
+            assert finished[rec.job.job_id] == rec.finished_at
+
+
+class TestRecordKeeper:
+    def test_requeue_resets_placement_and_counts_restart(self):
+        keeper = RecordKeeper()
+        job = make_job("j", num_gpus=1)
+        keeper.register(job, ideal_exec_time=42.0)
+        rec = keeper.record_of("j")
+        rec.placed_at = 1.0
+        rec.gpus = ("m0/gpu0",)
+        rec.utility = 0.9
+        keeper.on_requeue(5.0, job)
+        assert rec.restarts == 1
+        assert rec.placed_at is None
+        assert rec.gpus == ()
+        assert rec.utility is None
+        assert rec.ideal_exec_time == 42.0  # survives the cold restart
+
+    def test_mark_unplaceable(self):
+        keeper = RecordKeeper()
+        job = make_job("big", num_gpus=64)
+        keeper.register(job, ideal_exec_time=0.0)
+        keeper.mark_unplaceable(["big"])
+        assert keeper.record_of("big").unplaceable
+
+
+class TestResultIndex:
+    def test_record_of_uses_index(self):
+        jobs = [make_job(f"j{i}", num_gpus=1, iterations=50) for i in range(6)]
+        result = run_with_observers(
+            power8_minsky(), make_scheduler("FCFS"), jobs
+        )
+        assert result.record_of("j3").job.job_id == "j3"
+        # built lazily on first use, then hit directly
+        assert result._index is not None
+        assert result.record_of("j5") is result._index["j5"]
+        with pytest.raises(KeyError):
+            result.record_of("nope")
+
+
+class TestSchedulerReuseGuard:
+    def test_second_simulator_rejected(self):
+        sched = make_scheduler("FCFS")
+        Simulator(power8_minsky(), sched, [make_job("a")])
+        with pytest.raises(RuntimeError, match="fresh scheduler"):
+            Simulator(power8_minsky(), sched, [make_job("b")])
+
+    def test_same_owner_may_reattach(self):
+        sched = make_scheduler("FCFS")
+        sim = Simulator(power8_minsky(), sched, [make_job("a")])
+        sched.attach(sim)  # idempotent for the same owner
+
+
+class TestSharedClusterState:
+    def test_simulator_views_delegate_to_cluster(self):
+        topo = power8_minsky()
+        state = ClusterState(topo)
+        sim = Simulator(topo, make_scheduler("FCFS"), [make_job("a")], cluster=state)
+        assert sim.alloc is state.alloc
+        assert sim.perf is state.perf
+        assert sim.engine is state.engine
+        assert sim.cluster is state
+
+    def test_foreign_topology_rejected(self):
+        state = ClusterState(power8_minsky())
+        with pytest.raises(ValueError, match="different topology"):
+            Simulator(cluster(2), make_scheduler("FCFS"), [make_job("a")],
+                      cluster=state)

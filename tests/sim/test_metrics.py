@@ -125,3 +125,37 @@ class TestSummaries:
         result = SimulationResult("X", [rec], 0.0, 0.0, 0)
         row = summarize(result)
         assert row["finished"] == 0 and row["unplaceable"] == 1
+
+
+class TestUtilizationObserver:
+    def test_live_average_matches_record_average(self):
+        import numpy as np
+
+        from repro.analysis.scenarios import table1_jobs
+        from repro.schedulers import make_scheduler
+        from repro.sim.metrics import UtilizationObserver, average_utilization
+        from repro.sim.runner import run_with_observers
+        from repro.topology.builders import power8_minsky
+
+        topo = power8_minsky()
+        observer = UtilizationObserver(total_gpus=len(topo.gpus()))
+        result = run_with_observers(
+            topo, make_scheduler("TOPO-AWARE"), table1_jobs(),
+            observers=[observer],
+        )
+        # the observer sees the exact step function; the record-based
+        # estimate samples it, so they agree only approximately
+        assert observer.average() == pytest.approx(
+            average_utilization(result.records, len(topo.gpus())), abs=0.05
+        )
+        times, util = observer.timeline()
+        assert (util >= 0.0).all() and (util <= 1.0).all()
+        assert (np.diff(times) >= 0).all()
+
+    def test_validation(self):
+        from repro.sim.metrics import UtilizationObserver
+
+        with pytest.raises(ValueError):
+            UtilizationObserver(total_gpus=0)
+        empty = UtilizationObserver(total_gpus=4)
+        assert empty.average() == 0.0
