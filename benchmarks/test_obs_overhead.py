@@ -1,0 +1,73 @@
+"""Telemetry overhead: disabled trace points must stay within 3 %.
+
+The ISSUE's acceptance bound: with no recorder installed, every
+``span()`` call in the DRB/FM/utility hot path is a module-global read
+plus an ``is None`` test, so a full Scenario 1 run (100 jobs) must
+cost at most 3 % more than it would without any instrumentation.
+
+Timing two full runs against each other is flaky on shared CI boxes,
+so the 3 % assertion is built from deterministic parts instead: count
+how many trace points the run actually crosses (via an enabled
+recorder), microbenchmark the disabled ``span()`` call, and require
+
+    span_count * disabled_cost_per_call  <  3 % of the run's wall time.
+
+The enabled-vs-disabled wall-clock comparison is still reported in the
+results file for the curious, just not asserted on.
+"""
+
+import time
+import timeit
+
+from repro.analysis.scenarios import scenario1_jobs
+from repro.obs import recording, span
+from repro.schedulers import make_scheduler
+from repro.sim.engine import Simulator
+from repro.topology.builders import cluster
+
+
+def _run_scenario1():
+    jobs = scenario1_jobs(100, seed=42)
+    return Simulator(cluster(5), make_scheduler("TOPO-AWARE-P"), jobs).run()
+
+
+def test_disabled_tracing_overhead_under_3pct(benchmark, write_result):
+    # wall time of the production configuration (tracing disabled)
+    benchmark.pedantic(_run_scenario1, rounds=1, iterations=1)
+    t0 = time.perf_counter()
+    _run_scenario1()
+    disabled_s = time.perf_counter() - t0
+
+    # the same run with a recorder installed, to count trace points
+    t0 = time.perf_counter()
+    with recording() as rec:
+        _run_scenario1()
+    enabled_s = time.perf_counter() - t0
+    span_count = len(rec.spans)
+    assert span_count > 0, "instrumentation never fired"
+
+    # cost of one disabled span() call, measured in isolation
+    calls = 100_000
+    per_call_s = timeit.timeit(
+        lambda: span("bench.noop", job_id="x", n=4), number=calls
+    ) / calls
+
+    worst_case_s = span_count * per_call_s
+    overhead_pct = 100.0 * worst_case_s / disabled_s
+
+    write_result(
+        "obs_overhead",
+        "\n".join(
+            [
+                "telemetry overhead, Scenario 1 (100 jobs, 5 machines)",
+                f"disabled run wall time        {disabled_s:>9.3f} s",
+                f"enabled run wall time         {enabled_s:>9.3f} s",
+                f"trace points crossed          {span_count:>9d}",
+                f"disabled span() cost          {per_call_s * 1e9:>9.1f} ns",
+                f"worst-case disabled overhead  {overhead_pct:>9.4f} %"
+                "  (bound: 3 %)",
+            ]
+        ),
+    )
+
+    assert worst_case_s < 0.03 * disabled_s

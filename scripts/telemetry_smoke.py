@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""CI smoke check: one telemetry-enabled simulation, artifacts validated.
+
+Runs ``repro simulate`` with all three telemetry sinks on a small
+workload, then re-reads every artifact through the strict parsers:
+
+* the Prometheus exposition must parse, expose >= 12 metric families,
+  and include the decision-latency histogram and queue-depth gauge;
+* the JSONL event log must validate against the schema and cover every
+  job's arrival, placement, and finish;
+* the trace must summarize into per-job decision timelines.
+
+Exits non-zero (with a message) on any violation.  Budget: well under
+30 s.
+
+Run:  PYTHONPATH=src python scripts/telemetry_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.cli import main as repro_main
+from repro.obs import parse_prometheus, read_events, read_trace, summarize
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        metrics = Path(tmp) / "metrics.prom"
+        events = Path(tmp) / "events.jsonl"
+        trace = Path(tmp) / "trace.jsonl"
+        code = repro_main(
+            ["simulate", "--scheduler", "topo-aware-p",
+             "--jobs", "30", "--machines", "2", "--seed", "42",
+             "--metrics-out", str(metrics),
+             "--events-out", str(events),
+             "--trace-out", str(trace)]
+        )
+        if code != 0:
+            fail(f"simulate exited with {code}")
+
+        # -- metrics ---------------------------------------------------
+        families = parse_prometheus(metrics.read_text())
+        if len(families) < 12:
+            fail(f"only {len(families)} metric families (need >= 12)")
+        hist = families.get("repro_decision_latency_seconds")
+        if hist is None or hist["type"] != "histogram":
+            fail("repro_decision_latency_seconds histogram missing")
+        gauge = families.get("repro_queue_depth")
+        if gauge is None or gauge["type"] != "gauge":
+            fail("repro_queue_depth gauge missing")
+
+        # -- events ----------------------------------------------------
+        log = read_events(events)  # schema-validates every line
+        arrived = {e["job_id"] for e in log if e["type"] == "arrival"}
+        placed = {e["job_id"] for e in log if e["type"] == "place"}
+        finished = {e["job_id"] for e in log if e["type"] == "finish"}
+        if len(arrived) != 30:
+            fail(f"{len(arrived)} arrival events for 30 jobs")
+        if not (arrived == placed == finished):
+            fail(
+                "lifecycle coverage gap: "
+                f"arrived-placed={sorted(arrived - placed)} "
+                f"placed-finished={sorted(placed - finished)}"
+            )
+
+        # -- trace -----------------------------------------------------
+        spans = read_trace(trace)
+        timeline = summarize(spans)
+        if "sched.propose" not in timeline:
+            fail("trace summary has no sched.propose spans")
+
+    print(
+        f"telemetry smoke OK: {len(families)} metric families, "
+        f"{len(log)} events covering {len(arrived)} jobs, "
+        f"{len(spans)} trace spans"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import string
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -136,6 +136,20 @@ class GanttObserver(BaseObserver):
 
     def chart(self, width: int = 64, gpus: Sequence[str] | None = None) -> str:
         return _render_occupancy(self.name, self.job_order, self.spans, width, gpus)
+
+
+def comparison_charts(
+    observers: Mapping[str, "GanttObserver"],
+    width: int = 64,
+    gpus: Sequence[str] | None = None,
+) -> str:
+    """One Gantt panel per policy (Figure 8's (a)-(d) side by side).
+
+    ``observers`` maps policy name to the :class:`GanttObserver` that
+    watched its run — the shape ``repro compare --gantt`` produces.
+    """
+    panels = [observers[name].chart(width, gpus) for name in observers]
+    return "\n\n".join(panels)
 
 
 def _mean_utility_series(

@@ -7,9 +7,18 @@ Subcommands::
     repro compare --jobs N --machines M [...]      # all four policies
     repro topo --machine NAME [--matrix | --numactl]
     repro figures [--out DIR]                      # regenerate evaluation
+    repro trace summarize TRACE.jsonl [--job ID]   # decision timelines
+
+``simulate`` and ``compare`` accept telemetry sinks —
+``--metrics-out`` (Prometheus text, or JSON with a ``.json`` suffix),
+``--events-out`` (schema-versioned JSONL lifecycle events) and
+``--trace-out`` (JSONL decision spans, fed to ``repro trace
+summarize``).  Telemetry is tap-only: results are bit-identical with
+or without the flags.
 
 Everything is also available as a library; the CLI is a thin veneer
-over :mod:`repro.prototype`, :mod:`repro.sim` and :mod:`repro.analysis`.
+over :mod:`repro.prototype`, :mod:`repro.sim`, :mod:`repro.obs` and
+:mod:`repro.analysis`.
 """
 
 from __future__ import annotations
@@ -61,11 +70,18 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=42)
         p.add_argument("--arrival-rate", type=float, default=2.2,
                        help="jobs per minute (Poisson lambda)")
+        p.add_argument("--gantt", action="store_true",
+                       help="also print a live-collected Gantt chart"
+                       + (" per policy" if name == "compare" else ""))
+        p.add_argument("--metrics-out", type=Path, default=None, metavar="FILE",
+                       help="write metrics (Prometheus text; .json for JSON)")
+        p.add_argument("--events-out", type=Path, default=None, metavar="FILE",
+                       help="write the structured JSONL event log")
+        p.add_argument("--trace-out", type=Path, default=None, metavar="FILE",
+                       help="record decision-path spans to a JSONL trace")
         if name == "simulate":
             p.add_argument("--scheduler", choices=SCHEDULER_CHOICES,
-                           default="TOPO-AWARE-P")
-            p.add_argument("--gantt", action="store_true",
-                           help="also print a live-collected Gantt chart")
+                           type=lambda s: s.upper(), default="TOPO-AWARE-P")
 
     topo = sub.add_parser("topo", help="print a machine topology")
     topo.add_argument("--machine", choices=MACHINE_CHOICES, default="power8-minsky")
@@ -86,6 +102,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("--out", type=Path, default=None,
                         help="write to a file instead of stdout")
+
+    trace = sub.add_parser("trace", help="inspect recorded decision traces")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_summarize = trace_sub.add_parser(
+        "summarize", help="per-job decision timeline from a trace file"
+    )
+    trace_summarize.add_argument("trace_file", type=Path,
+                                 help="JSONL trace written by --trace-out")
+    trace_summarize.add_argument("--job", default=None,
+                                 help="only this job id")
     return parser
 
 
@@ -134,6 +160,71 @@ def _cmd_run(args) -> int:
     return 0
 
 
+class _TelemetrySinks:
+    """CLI-side lifecycle for the --metrics/--events/--trace-out flags.
+
+    Builds one shared registry/event log, hands out per-policy
+    :class:`TelemetryObserver` taps, activates span recording only when
+    a trace sink was requested, and flushes every requested file once
+    the runs finish.  With no flags set it stays completely inert (no
+    observers attached, tracing disabled).
+    """
+
+    def __init__(self, args) -> None:
+        from repro.obs import EventLog, MetricsRegistry
+        from repro.obs import trace as trace_mod
+
+        self.metrics_out = args.metrics_out
+        self.events_out = args.events_out
+        self.trace_out = args.trace_out
+        self.enabled = any((self.metrics_out, self.events_out, self.trace_out))
+        self.registry = MetricsRegistry()
+        self.event_log = EventLog()
+        self.recorder = (
+            trace_mod.SpanRecorder() if self.trace_out is not None else None
+        )
+        self._trace_mod = trace_mod
+
+    def observers(self, scheduler: str, total_gpus: int, n_jobs: int) -> tuple:
+        if not self.enabled:
+            return ()
+        from repro.obs.telemetry import TelemetryObserver
+
+        observer = TelemetryObserver(
+            self.registry,
+            self.event_log,
+            scheduler=scheduler,
+            total_gpus=total_gpus,
+        )
+        observer.run_start(n_jobs)
+        return (observer,)
+
+    def __enter__(self):
+        if self.recorder is not None:
+            self._trace_mod.install(self.recorder)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self.recorder is not None:
+            self._trace_mod.install(None)
+        return False
+
+    def flush(self) -> None:
+        from repro.obs import write_metrics
+
+        if self.metrics_out is not None:
+            write_metrics(self.registry, self.metrics_out)
+            print(f"metrics written to {self.metrics_out}")
+        if self.events_out is not None:
+            self.event_log.write(self.events_out)
+            print(f"{len(self.event_log)} events written to {self.events_out}")
+        if self.trace_out is not None:
+            self.recorder.write(self.trace_out)
+            print(
+                f"{len(self.recorder.spans)} spans written to {self.trace_out}"
+            )
+
+
 def _cmd_simulate(args) -> int:
     from repro.analysis.gantt import GanttObserver
     from repro.schedulers import make_scheduler
@@ -141,29 +232,71 @@ def _cmd_simulate(args) -> int:
     from repro.sim.runner import run_with_observers
 
     topo = _topology_factory(args)()
+    jobs = _generate(args)
     gantt = GanttObserver(args.scheduler)
     utilization = UtilizationObserver(total_gpus=len(topo.gpus()))
-    result = run_with_observers(
-        topo,
-        make_scheduler(args.scheduler),
-        _generate(args),
-        observers=(gantt, utilization),
-    )
+    sinks = _TelemetrySinks(args)
+    telemetry = sinks.observers(args.scheduler, len(topo.gpus()), len(jobs))
+    with sinks:
+        result = run_with_observers(
+            topo,
+            make_scheduler(args.scheduler),
+            jobs,
+            observers=(gantt, utilization, *telemetry),
+        )
+    for observer in telemetry:
+        observer.run_end(result)
     for key, value in summarize(result).items():
         print(f"{key:>22}: {value}")
     print(f"{'avg_utilization':>22}: {utilization.average():.3f}")
     if args.gantt:
         print()
         print(gantt.chart())
+    sinks.flush()
     return 0
 
 
 def _cmd_compare(args) -> int:
+    from repro.analysis.gantt import GanttObserver, comparison_charts
     from repro.sim.metrics import comparison_table
     from repro.sim.runner import run_comparison
 
-    results = run_comparison(_topology_factory(args), _generate(args))
+    topo_factory = _topology_factory(args)
+    total_gpus = len(topo_factory().gpus())
+    jobs = _generate(args)
+    sinks = _TelemetrySinks(args)
+    gantts: dict[str, GanttObserver] = {}
+    telemetry: dict[str, tuple] = {}
+
+    def observer_factory(name: str):
+        telemetry[name] = sinks.observers(name, total_gpus, len(jobs))
+        observers = list(telemetry[name])
+        if args.gantt:
+            gantts[name] = GanttObserver(name)
+            observers.append(gantts[name])
+        return observers
+
+    with sinks:
+        results = run_comparison(
+            topo_factory, jobs, observer_factory=observer_factory
+        )
+    for name, result in results.items():
+        for observer in telemetry.get(name, ()):
+            observer.run_end(result)
     print(comparison_table(list(results.values())))
+    if args.gantt:
+        print()
+        print(comparison_charts(gantts))
+    sinks.flush()
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import read_trace, summarize as summarize_trace
+
+    # only one trace subcommand exists today; argparse enforces it
+    spans = read_trace(args.trace_file)
+    print(summarize_trace(spans, job_id=args.job))
     return 0
 
 
@@ -241,6 +374,7 @@ def main(argv: list[str] | None = None) -> int:
         "topo": _cmd_topo,
         "figures": _cmd_figures,
         "report": _cmd_report,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

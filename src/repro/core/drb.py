@@ -18,6 +18,7 @@ from typing import Mapping, Sequence
 from repro.core.bipartition import physical_bipartition
 from repro.core.job_bipartition import ExternalRegion, job_graph_bipartition
 from repro.core.utility import UtilityParams
+from repro.obs import trace as _trace
 from repro.topology.allocation import AllocationState
 from repro.topology.graph import TopologyGraph
 from repro.workload.job import Job
@@ -48,19 +49,22 @@ def drb_map(
         )
     model = interference_model or InterferenceModel(topo)
     mapping: dict[int, str] = {}
-    _recurse(
-        topo,
-        alloc,
-        job,
-        jobgraph,
-        tuple(tasks),
-        tuple(pool),
-        co_runners,
-        params,
-        model,
-        (),
-        mapping,
-    )
+    with _trace.span(
+        "drb.map", job_id=job.job_id, tasks=len(tasks), pool=len(pool)
+    ):
+        _recurse(
+            topo,
+            alloc,
+            job,
+            jobgraph,
+            tuple(tasks),
+            tuple(pool),
+            co_runners,
+            params,
+            model,
+            (),
+            mapping,
+        )
     return mapping
 
 
@@ -76,6 +80,7 @@ def _recurse(
     model,
     external: tuple[ExternalRegion, ...],
     mapping: dict[int, str],
+    depth: int = 0,
 ) -> None:
     if not tasks:
         return
@@ -86,27 +91,33 @@ def _recurse(
             )
         mapping[tasks[0]] = pool[0]
         return
-    p0, p1 = physical_bipartition(topo, pool)
-    a0, a1 = job_graph_bipartition(
-        topo,
-        alloc,
-        job,
-        jobgraph,
-        tasks,
-        p0,
-        p1,
-        co_runners,
-        params,
-        model,
-        external,
-    )
-    _recurse(
-        topo, alloc, job, jobgraph, a0, p0, co_runners, params, model,
-        external + ((ExternalRegion(tasks=a1, gpus=p1),) if a1 else ()),
-        mapping,
-    )
-    _recurse(
-        topo, alloc, job, jobgraph, a1, p1, co_runners, params, model,
-        external + ((ExternalRegion(tasks=a0, gpus=p0),) if a0 else ()),
-        mapping,
-    )
+    with _trace.span(
+        "drb.recurse", depth=depth, tasks=len(tasks), pool=len(pool)
+    ) as sp:
+        p0, p1 = physical_bipartition(topo, pool)
+        a0, a1 = job_graph_bipartition(
+            topo,
+            alloc,
+            job,
+            jobgraph,
+            tasks,
+            p0,
+            p1,
+            co_runners,
+            params,
+            model,
+            external,
+        )
+        sp.set(split_tasks=[len(a0), len(a1)], split_pool=[len(p0), len(p1)])
+        _recurse(
+            topo, alloc, job, jobgraph, a0, p0, co_runners, params, model,
+            external + ((ExternalRegion(tasks=a1, gpus=p1),) if a1 else ()),
+            mapping,
+            depth + 1,
+        )
+        _recurse(
+            topo, alloc, job, jobgraph, a1, p1, co_runners, params, model,
+            external + ((ExternalRegion(tasks=a0, gpus=p0),) if a0 else ()),
+            mapping,
+            depth + 1,
+        )

@@ -26,6 +26,8 @@ import itertools
 from dataclasses import dataclass
 from typing import Hashable, Mapping, Sequence
 
+from repro.obs import trace as _trace
+
 Vertex = Hashable
 
 
@@ -37,6 +39,8 @@ class FMResult:
     side1: tuple[Vertex, ...]
     cut: float
     passes: int
+    #: total cut weight removed by the kept move prefixes across passes
+    gain: float = 0.0
 
     def side_of(self, v: Vertex) -> int:
         if v in self.side0:
@@ -96,6 +100,27 @@ def fm_bipartition(
     ``capacities`` bounds each side's size (default: balanced halves,
     ``ceil(n/2)`` each).  Raises ``ValueError`` for infeasible inputs.
     """
+    recorder = _trace.ACTIVE
+    if recorder is None:
+        return _fm_bipartition(
+            vertices, affinity, initial, capacities, max_passes, validate
+        )
+    with recorder.span("fm.bipartition", n=len(vertices)) as sp:
+        result = _fm_bipartition(
+            vertices, affinity, initial, capacities, max_passes, validate
+        )
+        sp.set(passes=result.passes, cut=result.cut, gain=result.gain)
+        return result
+
+
+def _fm_bipartition(
+    vertices: Sequence[Vertex],
+    affinity: Mapping[Vertex, Mapping[Vertex, float]],
+    initial: tuple[Sequence[Vertex], Sequence[Vertex]] | None,
+    capacities: tuple[int, int] | None,
+    max_passes: int,
+    validate: bool,
+) -> FMResult:
     n = len(vertices)
     if n < 2:
         raise ValueError("need at least two vertices to bipartition")
@@ -146,6 +171,7 @@ def fm_bipartition(
 
     caps = (cap0, cap1)
     passes = 0
+    total_gain = 0.0
     for _ in range(max_passes):
         passes += 1
         locked: set[Vertex] = set()
@@ -196,13 +222,16 @@ def fm_bipartition(
             sizes[side[v]] -= 1
             sizes[target] += 1
             side[v] = target
+        total_gain += best_cum
         if best_cum <= 1e-12:
             break
 
     side0 = tuple(v for v in vertices if side[v] == 0)
     side1 = tuple(v for v in vertices if side[v] == 1)
     final_cut = cut_weight(affinity, set(side0), set(side1))
-    return FMResult(side0=side0, side1=side1, cut=final_cut, passes=passes)
+    return FMResult(
+        side0=side0, side1=side1, cut=final_cut, passes=passes, gain=total_gain
+    )
 
 
 def affinity_from_distance(

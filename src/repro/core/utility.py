@@ -33,6 +33,7 @@ import weakref
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
+from repro.obs import trace as _trace
 from repro.topology.allocation import AllocationState
 from repro.topology.graph import TopologyGraph
 from repro.workload.job import Job
@@ -235,11 +236,21 @@ def evaluate_solution(
 
     gpus = list(gpus)
     model = interference_model or InterferenceModel(topo)
-    t = communication_cost(topo, gpus)
-    t_norm = normalized_comm_cost(topo, gpus)
-    interference = model.eq4_interference(job, gpus, co_runners, alloc)
-    i_norm = normalize_interference(interference, params)
-    frag = fragmentation_after(topo, alloc, gpus)
+    with _trace.span("utility.evaluate", job_id=job.job_id, gpus=len(gpus)) as sp:
+        t = communication_cost(topo, gpus)
+        t_norm = normalized_comm_cost(topo, gpus)
+        interference = model.eq4_interference(job, gpus, co_runners, alloc)
+        i_norm = normalize_interference(interference, params)
+        frag = fragmentation_after(topo, alloc, gpus)
+        utility = normalized_utility(t_norm, i_norm, frag, params)
+        sp.set(
+            comm_cost=t,
+            comm_norm=t_norm,
+            interference=interference,
+            interference_norm=i_norm,
+            fragmentation=frag,
+            utility=utility,
+        )
     return SolutionMetrics(
         comm_cost=t,
         interference=interference,
@@ -247,5 +258,5 @@ def evaluate_solution(
         comm_norm=t_norm,
         interference_norm=i_norm,
         fragmentation_norm=frag,
-        utility=normalized_utility(t_norm, i_norm, frag, params),
+        utility=utility,
     )

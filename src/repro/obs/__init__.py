@@ -1,0 +1,97 @@
+"""Observability layer: metrics, structured events, decision tracing.
+
+The production-facing telemetry the ROADMAP's north star requires and
+the evaluation used to recover post-hoc from ``JobRecord`` lists:
+
+* :mod:`repro.obs.metrics` — labelled Counter/Gauge/Histogram
+  instruments in a :class:`MetricsRegistry`;
+* :mod:`repro.obs.export` — Prometheus text-format and JSON
+  exposition (plus a strict parser used for validation);
+* :mod:`repro.obs.events` — versioned JSONL event log covering every
+  :class:`~repro.sim.hooks.SimObserver` lifecycle event and scheduler
+  internals;
+* :mod:`repro.obs.trace` — span tracer with no-op-by-default trace
+  points inside the DRB/FM/utility hot path;
+* :mod:`repro.obs.telemetry` — :class:`TelemetryObserver`, the bridge
+  from simulation hooks into the registry and event log.
+
+Everything here is tap-only: attaching telemetry must never change
+simulation results (enforced by the golden-equivalence tests) and the
+disabled trace points stay within 3 % of the uninstrumented runtime
+(enforced by ``benchmarks/test_obs_overhead.py``).
+"""
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    SCHEMA_VERSION,
+    EventLog,
+    iter_events,
+    read_events,
+    validate_event,
+    validate_events,
+)
+from repro.obs.export import (
+    parse_prometheus,
+    render_json,
+    render_prometheus,
+    sample_value,
+    write_metrics,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    TRACE_SCHEMA_VERSION,
+    SpanRecorder,
+    install,
+    read_trace,
+    recording,
+    span,
+    summarize,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "EVENT_TYPES",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "SCHEMA_VERSION",
+    "SpanRecorder",
+    "TRACE_SCHEMA_VERSION",
+    "TelemetryObserver",
+    "install",
+    "iter_events",
+    "parse_prometheus",
+    "read_events",
+    "read_trace",
+    "recording",
+    "render_json",
+    "render_prometheus",
+    "sample_value",
+    "span",
+    "summarize",
+    "validate_event",
+    "validate_events",
+    "write_metrics",
+]
+
+
+def __getattr__(name: str):
+    # TelemetryObserver pulls in repro.sim.hooks, whose import chain
+    # reaches back into repro.core.* — the very modules that import
+    # this package for their trace points.  Loading it lazily keeps
+    # the hot-path import (repro.obs.trace) cycle-free.
+    if name == "TelemetryObserver":
+        from repro.obs.telemetry import TelemetryObserver
+
+        return TelemetryObserver
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

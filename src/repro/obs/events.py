@@ -1,0 +1,140 @@
+"""Structured JSONL event log with a versioned schema.
+
+Every simulation lifecycle notification (the :class:`SimObserver`
+hooks) plus scheduler internals (postponements, decision rounds) can
+be appended to an :class:`EventLog` and flushed as one JSON object per
+line.  The schema is explicit and versioned so downstream consumers —
+the CI smoke validation, dashboards, the next robustness PRs — can
+evolve against a contract instead of a file format that drifts
+silently.
+
+Schema v1: every event carries ``schema`` (int), ``seq`` (monotone
+per-log sequence number), ``type`` (one of :data:`EVENT_TYPES`),
+``t`` (simulation time, seconds) and ``scheduler`` (policy name, may
+be ``""`` outside a run).  Per-type required fields are listed in
+:data:`EVENT_TYPES`; extra fields are allowed (forward-compatible),
+missing ones are a :class:`ValueError` at emit *and* validate time.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterable, Iterator
+
+SCHEMA_VERSION = 1
+
+#: event type -> required per-type fields (beyond the common envelope)
+EVENT_TYPES: dict[str, tuple[str, ...]] = {
+    "run_start": ("jobs", "total_gpus"),
+    "run_end": ("makespan", "finished", "unplaceable"),
+    "arrival": ("job_id", "num_gpus"),
+    "place": ("job_id", "gpus", "utility", "p2p", "postponements"),
+    "finish": ("job_id", "gpus"),
+    "failure": ("machine", "victims"),
+    "requeue": ("job_id",),
+    "decision_round": ("placed", "queued", "elapsed_s"),
+    "postponed": ("job_id", "postponements"),
+    "slo_violation": ("job_id", "utility", "min_utility"),
+}
+
+_COMMON_FIELDS = ("schema", "seq", "type", "t", "scheduler")
+
+
+def validate_event(event: dict) -> dict:
+    """Check one event object against schema v1; returns it unchanged."""
+    if not isinstance(event, dict):
+        raise ValueError(f"event must be an object, got {type(event).__name__}")
+    for field in _COMMON_FIELDS:
+        if field not in event:
+            raise ValueError(f"event missing common field {field!r}: {event}")
+    if event["schema"] != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema version {event['schema']!r} "
+            f"(this reader understands {SCHEMA_VERSION})"
+        )
+    etype = event["type"]
+    if etype not in EVENT_TYPES:
+        raise ValueError(f"unknown event type {etype!r}")
+    if not isinstance(event["t"], (int, float)):
+        raise ValueError(f"event field 't' must be numeric: {event}")
+    missing = [f for f in EVENT_TYPES[etype] if f not in event]
+    if missing:
+        raise ValueError(f"{etype} event missing fields {missing}: {event}")
+    return event
+
+
+class EventLog:
+    """In-memory accumulator for schema-v1 events, flushed as JSONL.
+
+    A tap, not a store of record: the simulation's behaviour must be
+    identical with or without a log attached.  ``emit`` validates
+    eagerly so a malformed producer fails at the call site, not in a
+    downstream reader.
+    """
+
+    def __init__(self, scheduler: str = "") -> None:
+        self.scheduler = scheduler
+        self.events: list[dict] = []
+
+    def emit(self, type: str, t: float, **fields) -> dict:
+        event = {
+            "schema": SCHEMA_VERSION,
+            "seq": len(self.events),
+            "type": type,
+            "t": t,
+            "scheduler": fields.pop("scheduler", self.scheduler),
+            **fields,
+        }
+        validate_event(event)
+        self.events.append(event)
+        return event
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def of_type(self, type: str) -> list[dict]:
+        return [e for e in self.events if e["type"] == type]
+
+    # ------------------------------------------------------------------
+    def dump(self, fp: IO[str]) -> int:
+        """Write one JSON object per line; returns the event count."""
+        for event in self.events:
+            fp.write(json.dumps(event, sort_keys=False) + "\n")
+        return len(self.events)
+
+    def write(self, path: Path | str) -> Path:
+        path = Path(path)
+        with path.open("w") as fp:
+            self.dump(fp)
+        return path
+
+
+def iter_events(path: Path | str) -> Iterator[dict]:
+    """Stream validated events from a JSONL file."""
+    with Path(path).open() as fp:
+        for lineno, line in enumerate(fp, start=1):
+            if not line.strip():
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from None
+            try:
+                yield validate_event(event)
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: {exc}") from None
+
+
+def read_events(path: Path | str) -> list[dict]:
+    """Load and validate a whole JSONL event file."""
+    return list(iter_events(path))
+
+
+def validate_events(events: Iterable[dict]) -> int:
+    """Validate an event stream; returns the number of events seen."""
+    n = 0
+    for event in events:
+        validate_event(event)
+        n += 1
+    return n

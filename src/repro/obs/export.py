@@ -1,0 +1,199 @@
+"""Metric exposition: Prometheus text format and JSON.
+
+``render_prometheus`` emits the classic text exposition format
+(``# HELP`` / ``# TYPE`` headers, one sample per line, escaped label
+values) so the registry can be scraped or dropped into ``promtool``.
+``render_json`` is the same data as a machine-friendly document for
+dashboards and tests.  ``parse_prometheus`` round-trips the text
+format back into families — the CI smoke test and the unit tests use
+it to prove the output is well-formed rather than merely non-empty.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from pathlib import Path
+from typing import Mapping
+
+from repro.obs.metrics import MetricsRegistry
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Serialise the registry in Prometheus text exposition format."""
+    lines: list[str] = []
+    for instrument in registry.collect():
+        lines.append(f"# HELP {instrument.name} {_escape_help(instrument.help)}")
+        lines.append(f"# TYPE {instrument.name} {instrument.kind}")
+        for series_name, labels, value in instrument.samples():
+            if labels:
+                rendered = ",".join(
+                    f'{name}="{_escape_label_value(value_)}"'
+                    for name, value_ in labels
+                )
+                lines.append(f"{series_name}{{{rendered}}} {_format_value(value)}")
+            else:
+                lines.append(f"{series_name} {_format_value(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(registry: MetricsRegistry) -> str:
+    """Serialise the registry as a JSON document."""
+    families = []
+    for instrument in registry.collect():
+        families.append(
+            {
+                "name": instrument.name,
+                "type": instrument.kind,
+                "help": instrument.help,
+                "samples": [
+                    {"series": series_name, "labels": dict(labels), "value": value}
+                    for series_name, labels, value in instrument.samples()
+                ],
+            }
+        )
+    return json.dumps({"families": families}, indent=2, sort_keys=False)
+
+
+def write_metrics(registry: MetricsRegistry, path: Path | str) -> Path:
+    """Write the registry to ``path``; ``.json`` selects JSON format,
+    anything else the Prometheus text format."""
+    path = Path(path)
+    if path.suffix == ".json":
+        path.write_text(render_json(registry) + "\n")
+    else:
+        path.write_text(render_prometheus(registry))
+    return path
+
+
+# ---------------------------------------------------------------------------
+# parsing (validation-side)
+# ---------------------------------------------------------------------------
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'\s*(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"\s*(?:,|$)'
+)
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)
+
+
+def _parse_labels(text: str) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    pos = 0
+    while pos < len(text):
+        m = _LABEL_PAIR_RE.match(text, pos)
+        if m is None:
+            raise ValueError(f"malformed label block {text!r}")
+        raw = m.group("value")
+        labels[m.group("name")] = (
+            raw.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+        )
+        pos = m.end()
+    return labels
+
+
+def parse_prometheus(text: str) -> dict[str, dict]:
+    """Parse text exposition into ``{family: {type, help, samples}}``.
+
+    Raises :class:`ValueError` on any malformed line, on samples that
+    appear before their ``# TYPE`` header, and on unknown metric types
+    — strict on purpose, it backs the CI format validation.
+    """
+    families: dict[str, dict] = {}
+
+    def family_of(series_name: str) -> str:
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = series_name.removesuffix(suffix)
+            if base != series_name and base in families:
+                if families[base]["type"] == "histogram":
+                    return base
+        return series_name
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            try:
+                _, _, name, help_text = line.split(" ", 3)
+            except ValueError:
+                name = line.split(" ", 3)[2]
+                help_text = ""
+            families.setdefault(name, {"type": None, "help": None, "samples": []})
+            families[name]["help"] = help_text
+        elif line.startswith("# TYPE "):
+            _, _, name, kind = line.split(" ", 3)
+            if kind not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                raise ValueError(f"line {lineno}: unknown metric type {kind!r}")
+            families.setdefault(name, {"type": None, "help": None, "samples": []})
+            if families[name]["type"] not in (None, kind):
+                raise ValueError(f"line {lineno}: conflicting TYPE for {name}")
+            families[name]["type"] = kind
+        elif line.startswith("#"):
+            continue  # free-form comment
+        else:
+            m = _SAMPLE_RE.match(line)
+            if m is None:
+                raise ValueError(f"line {lineno}: malformed sample {line!r}")
+            series_name = m.group("name")
+            family = family_of(series_name)
+            if family not in families or families[family]["type"] is None:
+                raise ValueError(
+                    f"line {lineno}: sample {series_name!r} has no TYPE header"
+                )
+            families[family]["samples"].append(
+                {
+                    "series": series_name,
+                    "labels": _parse_labels(m.group("labels") or ""),
+                    "value": _parse_value(m.group("value")),
+                }
+            )
+    return families
+
+
+def sample_value(
+    families: Mapping[str, dict],
+    family: str,
+    series: str | None = None,
+    labels: Mapping[str, str] | None = None,
+) -> float:
+    """Look up one parsed sample's value (test/validation helper)."""
+    series = series or family
+    labels = dict(labels or {})
+    for sample in families[family]["samples"]:
+        if sample["series"] == series and sample["labels"] == labels:
+            return sample["value"]
+    raise KeyError(f"no sample {series!r} with labels {labels} in {family!r}")

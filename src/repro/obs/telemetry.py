@@ -1,0 +1,220 @@
+"""Bridge from simulation hooks to metrics and the event log.
+
+:class:`TelemetryObserver` is a :class:`~repro.sim.hooks.SimObserver`
+that drives a :class:`~repro.obs.metrics.MetricsRegistry` (live
+cluster gauges, lifecycle counters, a decision-latency histogram) and
+an :class:`~repro.obs.events.EventLog` (one structured event per
+lifecycle notification) from the simulation event stream.  It is a
+pure tap: it never mutates cluster or scheduler state, so attaching it
+cannot change simulation results (pinned by the golden-equivalence
+tests).
+
+Metric families (all labelled ``scheduler``):
+
+======================================  =========  =============================
+name                                    type       meaning
+======================================  =========  =============================
+repro_jobs_arrived_total                counter    jobs submitted to the queue
+repro_jobs_placed_total                 counter    placements enforced
+repro_jobs_finished_total               counter    jobs completed
+repro_jobs_requeued_total               counter    failure victims resubmitted
+repro_machine_failures_total            counter    fail-stop machine events
+repro_job_postponements_total           counter    TOPO-AWARE-P postponements
+repro_slo_violations_total              counter    placements below min_utility
+repro_decision_rounds_total             counter    scheduler invocations
+repro_queue_depth                       gauge      jobs waiting after a round
+repro_running_jobs                      gauge      jobs currently executing
+repro_gpus_busy                         gauge      GPUs currently allocated
+repro_gpu_utilization                   gauge      busy fraction of all GPUs
+repro_decision_latency_seconds          histogram  wall-clock per decision round
+repro_job_waiting_seconds               histogram  arrival -> placement delay
+repro_placement_utility                 histogram  chosen normalised utility
+======================================  =========  =============================
+"""
+
+from __future__ import annotations
+
+from repro.obs.events import EventLog
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.hooks import BaseObserver
+
+#: buckets for normalised utility in [0, 1]
+_UTILITY_BUCKETS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0)
+#: buckets for queueing delay (simulation seconds)
+_WAIT_BUCKETS = (0.0, 1.0, 5.0, 15.0, 30.0, 60.0, 120.0, 300.0, 600.0, 1800.0)
+
+
+class TelemetryObserver(BaseObserver):
+    """Feed sim lifecycle events into a registry and/or an event log."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        event_log: EventLog | None = None,
+        *,
+        scheduler: str = "",
+        total_gpus: int | None = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.events = event_log
+        self.scheduler = scheduler
+        self.total_gpus = total_gpus
+        self._busy = 0
+        self._running = 0
+        self._held: dict[str, int] = {}  # job id -> GPUs it occupies
+        self._postponements_seen: dict[str, int] = {}
+
+        reg = self.registry
+        labels = ("scheduler",)
+        self._arrived = reg.counter(
+            "repro_jobs_arrived_total", "Jobs submitted to the scheduler queue.",
+            labels)
+        self._placed = reg.counter(
+            "repro_jobs_placed_total", "Placements enforced on the cluster.",
+            labels)
+        self._finished = reg.counter(
+            "repro_jobs_finished_total", "Jobs that ran to completion.", labels)
+        self._requeued = reg.counter(
+            "repro_jobs_requeued_total",
+            "Failure victims resubmitted to the queue.", labels)
+        self._failures = reg.counter(
+            "repro_machine_failures_total", "Fail-stop machine events.", labels)
+        self._postponed = reg.counter(
+            "repro_job_postponements_total",
+            "Placements deferred by the postponing policy.", labels)
+        self._slo_violations = reg.counter(
+            "repro_slo_violations_total",
+            "Placements whose utility fell below the job's min_utility.",
+            labels)
+        self._rounds = reg.counter(
+            "repro_decision_rounds_total", "Scheduler invocations.", labels)
+        self._queue_depth = reg.gauge(
+            "repro_queue_depth", "Jobs waiting after the last decision round.",
+            labels)
+        self._running_jobs = reg.gauge(
+            "repro_running_jobs", "Jobs currently executing.", labels)
+        self._gpus_busy = reg.gauge(
+            "repro_gpus_busy", "GPUs currently allocated to running jobs.",
+            labels)
+        self._utilization = reg.gauge(
+            "repro_gpu_utilization",
+            "Allocated fraction of all cluster GPUs.", labels)
+        self._decision_latency = reg.histogram(
+            "repro_decision_latency_seconds",
+            "Wall-clock scheduler time per decision round.", labels)
+        self._waiting = reg.histogram(
+            "repro_job_waiting_seconds",
+            "Simulated delay between a job's arrival and its placement.",
+            labels, buckets=_WAIT_BUCKETS)
+        self._utility = reg.histogram(
+            "repro_placement_utility",
+            "Normalised utility of enforced placements (Eq. 1).",
+            labels, buckets=_UTILITY_BUCKETS)
+
+    # ------------------------------------------------------------------
+    def _gpu_gauges(self) -> None:
+        self._gpus_busy.set(self._busy, scheduler=self.scheduler)
+        self._running_jobs.set(self._running, scheduler=self.scheduler)
+        if self.total_gpus:
+            self._utilization.set(
+                self._busy / self.total_gpus, scheduler=self.scheduler
+            )
+
+    def _emit(self, type: str, t: float, **fields) -> None:
+        if self.events is not None:
+            self.events.emit(type, t, scheduler=self.scheduler, **fields)
+
+    # ------------------------------------------------------------------
+    # run envelope (called by the CLI wiring, not by the engine)
+    # ------------------------------------------------------------------
+    def run_start(self, jobs: int) -> None:
+        self._emit("run_start", 0.0, jobs=jobs, total_gpus=self.total_gpus or 0)
+
+    def run_end(self, result) -> None:
+        finished = sum(1 for r in result.records if r.finished_at is not None)
+        unplaceable = sum(1 for r in result.records if r.unplaceable)
+        self._emit(
+            "run_end",
+            result.makespan,
+            makespan=result.makespan,
+            finished=finished,
+            unplaceable=unplaceable,
+        )
+
+    # ------------------------------------------------------------------
+    # SimObserver hooks
+    # ------------------------------------------------------------------
+    def on_arrival(self, t, job):
+        self._arrived.inc(scheduler=self.scheduler)
+        self._emit("arrival", t, job_id=job.job_id, num_gpus=job.num_gpus)
+
+    def on_place(self, t, job, solution, solo_exec_time, postponements):
+        sched = self.scheduler
+        self._placed.inc(scheduler=sched)
+        self._waiting.observe(max(0.0, t - job.arrival_time), scheduler=sched)
+        self._utility.observe(solution.utility, scheduler=sched)
+        new_postponements = postponements - self._postponements_seen.get(
+            job.job_id, 0
+        )
+        if new_postponements > 0:
+            self._postponed.inc(new_postponements, scheduler=sched)
+            self._postponements_seen[job.job_id] = postponements
+            self._emit(
+                "postponed", t, job_id=job.job_id, postponements=postponements
+            )
+        if solution.utility < job.min_utility - 1e-9:
+            self._slo_violations.inc(scheduler=sched)
+            self._emit(
+                "slo_violation",
+                t,
+                job_id=job.job_id,
+                utility=solution.utility,
+                min_utility=job.min_utility,
+            )
+        self._held[job.job_id] = len(solution.gpus)
+        self._busy += len(solution.gpus)
+        self._running += 1
+        self._gpu_gauges()
+        self._emit(
+            "place",
+            t,
+            job_id=job.job_id,
+            gpus=sorted(solution.gpus),
+            utility=solution.utility,
+            p2p=solution.p2p,
+            postponements=postponements,
+        )
+
+    def on_finish(self, t, job, gpus):
+        self._finished.inc(scheduler=self.scheduler)
+        self._busy -= self._held.pop(job.job_id, 0)
+        self._running -= 1
+        self._gpu_gauges()
+        self._emit("finish", t, job_id=job.job_id, gpus=sorted(gpus))
+
+    def on_failure(self, t, machine, victims):
+        self._failures.inc(scheduler=self.scheduler)
+        for job in victims:
+            self._busy -= self._held.pop(job.job_id, 0)
+            self._running -= 1
+        self._gpu_gauges()
+        self._emit(
+            "failure", t, machine=machine, victims=[j.job_id for j in victims]
+        )
+
+    def on_requeue(self, t, job):
+        self._requeued.inc(scheduler=self.scheduler)
+        self._emit("requeue", t, job_id=job.job_id)
+
+    def on_decision_round(self, t, placed, queued, elapsed_s):
+        sched = self.scheduler
+        self._rounds.inc(scheduler=sched)
+        self._decision_latency.observe(elapsed_s, scheduler=sched)
+        self._queue_depth.set(queued, scheduler=sched)
+        self._emit(
+            "decision_round",
+            t,
+            placed=[s.job_id for s in placed],
+            queued=queued,
+            elapsed_s=elapsed_s,
+        )

@@ -23,6 +23,7 @@ postponement budget is exhausted.
 from __future__ import annotations
 
 from repro.core.placement import PlacementSolution
+from repro.obs import trace as _trace
 from repro.schedulers.base import Scheduler, SchedulingContext
 from repro.workload.job import Job
 
@@ -46,18 +47,33 @@ class TopoAwareScheduler(Scheduler):
             job = entry.job
             if job.single_node and job.num_gpus > max_free:
                 continue  # no machine has the capacity right now
-            solution = ctx.engine.propose(job, co)
-            if solution is None:
-                # Algorithm 1 pops every queued job per iteration: a job
-                # with no feasible hosts right now is simply re-queued
-                # (unlike FCFS, the head never blocks later jobs).
-                continue
-            if self.postpone and not self._acceptable(ctx, job, solution, co):
-                self._note_postponed(job.job_id)
-                continue
-            self._place(ctx, job, solution, co)
-            self._remove(job.job_id)
-            placed.append(solution)
+            with _trace.span(
+                "sched.propose",
+                job_id=job.job_id,
+                scheduler=self.name,
+                num_gpus=job.num_gpus,
+                queued=len(self._queue),
+            ) as sp:
+                solution = ctx.engine.propose(job, co)
+                if solution is None:
+                    # Algorithm 1 pops every queued job per iteration: a
+                    # job with no feasible hosts right now is simply
+                    # re-queued (unlike FCFS, the head never blocks
+                    # later jobs).
+                    sp.set(outcome="no-fit")
+                    continue
+                sp.set(utility=solution.utility, p2p=solution.p2p)
+                if self.postpone and not self._acceptable(ctx, job, solution, co):
+                    self._note_postponed(job.job_id)
+                    sp.set(
+                        outcome="postponed",
+                        postponements=self.postponements.get(job.job_id, 0),
+                    )
+                    continue
+                self._place(ctx, job, solution, co)
+                self._remove(job.job_id)
+                placed.append(solution)
+                sp.set(outcome="placed", gpus=len(solution.gpus))
             max_free = ctx.alloc.max_free_count()
             if max_free == 0:
                 break

@@ -26,7 +26,7 @@ re-exported here for backwards compatibility; their homes are
 from __future__ import annotations
 
 import time as _time
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.core.utility import UtilityParams
 from repro.perf.calibration import Calibration, DEFAULT_CALIBRATION
@@ -75,6 +75,7 @@ class Simulator:
         failures: Iterable[MachineFailure] = (),
         cluster: ClusterState | None = None,
         observers: Iterable[SimObserver] = (),
+        decision_clock: Callable[[], float] = _time.perf_counter,
     ) -> None:
         self.topo = topo
         self.scheduler = scheduler
@@ -92,6 +93,9 @@ class Simulator:
         self.cluster = cluster
         self.calibration = cluster.calibration
         self.observers = list(observers)
+        #: wall-clock source for decision-round timing; injectable so
+        #: tests can assert exact accounting instead of ``>= 0``
+        self.decision_clock = decision_clock
         self.failures = sorted(failures, key=lambda f: f.at_time)
         machines = set(topo.machines())
         for failure in self.failures:
@@ -172,9 +176,9 @@ class Simulator:
                 now=cluster.now,
                 cluster=cluster,
             )
-            t0 = _time.perf_counter()
+            t0 = self.decision_clock()
             placements = scheduler.schedule(ctx)
-            elapsed = _time.perf_counter() - t0
+            elapsed = self.decision_clock() - t0
             for solution in placements:
                 job = jobs_by_id[solution.job_id]
                 solo, machines = cluster.start(job, solution)

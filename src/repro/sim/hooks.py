@@ -181,7 +181,12 @@ class RecordKeeper(BaseObserver):
 
 
 class DecisionAccounting(BaseObserver):
-    """Accumulates scheduler wall-clock time and round counts."""
+    """Accumulates scheduler wall-clock time and round counts.
+
+    The ``elapsed_s`` it receives is measured by the engine's
+    ``decision_clock`` (``Simulator(..., decision_clock=...)``), which
+    defaults to ``time.perf_counter``; tests inject a deterministic
+    counter to assert exact accounting."""
 
     def __init__(self) -> None:
         self.decision_time_s = 0.0

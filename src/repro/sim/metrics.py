@@ -23,29 +23,67 @@ from repro.sim.hooks import BaseObserver
 from repro.sim.records import JobRecord, SimulationResult
 
 
-def qos_slowdown(record: JobRecord) -> float:
-    """Execution slowdown vs the ideal placement (0 = ideal)."""
+#: how slowdown metrics treat jobs that never finished: ``"skip"``
+#: drops them (returns ``None`` for a single record), ``"raise"``
+#: turns them into a :class:`ValueError` at the call site.
+UNFINISHED_POLICIES = ("skip", "raise")
+
+
+def _check_unfinished(unfinished: str) -> str:
+    if unfinished not in UNFINISHED_POLICIES:
+        raise ValueError(
+            f"unfinished must be one of {UNFINISHED_POLICIES}, "
+            f"got {unfinished!r}"
+        )
+    return unfinished
+
+
+def qos_slowdown(record: JobRecord, unfinished: str = "raise") -> float | None:
+    """Execution slowdown vs the ideal placement (0 = ideal).
+
+    ``unfinished="raise"`` (default) treats an unfinished job as an
+    error; ``"skip"`` returns ``None`` instead so collection-level
+    callers can filter uniformly.
+    """
+    _check_unfinished(unfinished)
     if record.exec_time is None:
+        if unfinished == "skip":
+            return None
         raise ValueError(f"{record.job.job_id} did not finish")
     if record.ideal_exec_time <= 0:
         raise ValueError(f"{record.job.job_id} has no ideal time")
     return max(0.0, record.exec_time / record.ideal_exec_time - 1.0)
 
 
-def total_slowdown(record: JobRecord) -> float:
-    """Slowdown including scheduler queue waiting time."""
+def total_slowdown(record: JobRecord, unfinished: str = "raise") -> float | None:
+    """Slowdown including scheduler queue waiting time.
+
+    Same ``unfinished`` policy as :func:`qos_slowdown`.
+    """
+    _check_unfinished(unfinished)
     if record.finished_at is None:
+        if unfinished == "skip":
+            return None
         raise ValueError(f"{record.job.job_id} did not finish")
     span = record.finished_at - record.arrival
     return max(0.0, span / record.ideal_exec_time - 1.0)
 
 
 def sorted_slowdowns(
-    records: Iterable[JobRecord], include_waiting: bool = False
+    records: Iterable[JobRecord],
+    include_waiting: bool = False,
+    unfinished: str = "skip",
 ) -> np.ndarray:
-    """Per-job slowdowns ordered worst to best (the figures' x-axis)."""
+    """Per-job slowdowns ordered worst to best (the figures' x-axis).
+
+    ``unfinished="skip"`` (default, the historical behaviour) drops
+    jobs that never finished; ``"raise"`` surfaces them as a
+    :class:`ValueError` so evaluation scripts cannot silently plot a
+    partial workload.
+    """
+    _check_unfinished(unfinished)
     fn = total_slowdown if include_waiting else qos_slowdown
-    vals = [fn(r) for r in records if r.finished_at is not None]
+    vals = [v for r in records if (v := fn(r, unfinished)) is not None]
     return np.array(sorted(vals, reverse=True))
 
 

@@ -1,0 +1,108 @@
+"""Event-log schema validation and JSONL round-trips."""
+
+import pytest
+
+from repro.obs.events import (
+    EVENT_TYPES,
+    SCHEMA_VERSION,
+    EventLog,
+    read_events,
+    validate_event,
+)
+
+
+class TestEmit:
+    def test_envelope_fields(self):
+        log = EventLog(scheduler="TOPO-AWARE-P")
+        event = log.emit("arrival", 1.5, job_id="job0", num_gpus=2)
+        assert event["schema"] == SCHEMA_VERSION
+        assert event["seq"] == 0
+        assert event["scheduler"] == "TOPO-AWARE-P"
+        assert event["t"] == 1.5
+
+    def test_sequence_numbers_are_monotone(self):
+        log = EventLog()
+        log.emit("arrival", 0.0, job_id="a", num_gpus=1)
+        log.emit("requeue", 1.0, job_id="a")
+        assert [e["seq"] for e in log.events] == [0, 1]
+
+    def test_missing_required_field_raises(self):
+        log = EventLog()
+        with pytest.raises(ValueError, match="missing fields"):
+            log.emit("arrival", 0.0, job_id="a")  # num_gpus missing
+
+    def test_unknown_type_raises(self):
+        log = EventLog()
+        with pytest.raises(ValueError, match="unknown event type"):
+            log.emit("teleport", 0.0)
+
+    def test_per_event_scheduler_override(self):
+        log = EventLog(scheduler="default")
+        event = log.emit("requeue", 0.0, job_id="a", scheduler="BF")
+        assert event["scheduler"] == "BF"
+
+    def test_of_type_filter(self):
+        log = EventLog()
+        log.emit("arrival", 0.0, job_id="a", num_gpus=1)
+        log.emit("finish", 9.0, job_id="a", gpus=["m0/gpu0"])
+        assert [e["job_id"] for e in log.of_type("finish")] == ["a"]
+
+
+class TestValidate:
+    def test_every_declared_type_has_required_fields(self):
+        for etype, fields in EVENT_TYPES.items():
+            event = {
+                "schema": SCHEMA_VERSION,
+                "seq": 0,
+                "type": etype,
+                "t": 0.0,
+                "scheduler": "",
+                **{f: 0 for f in fields},
+            }
+            assert validate_event(event) is event
+
+    def test_rejects_future_schema(self):
+        with pytest.raises(ValueError, match="unsupported schema"):
+            validate_event(
+                {"schema": 99, "seq": 0, "type": "requeue", "t": 0.0,
+                 "scheduler": "", "job_id": "a"}
+            )
+
+    def test_rejects_non_numeric_time(self):
+        with pytest.raises(ValueError, match="numeric"):
+            validate_event(
+                {"schema": 1, "seq": 0, "type": "requeue", "t": "later",
+                 "scheduler": "", "job_id": "a"}
+            )
+
+    def test_extra_fields_are_forward_compatible(self):
+        validate_event(
+            {"schema": 1, "seq": 0, "type": "requeue", "t": 0.0,
+             "scheduler": "", "job_id": "a", "note": "extra is fine"}
+        )
+
+
+class TestJsonlRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        log = EventLog(scheduler="BF")
+        log.emit("arrival", 0.0, job_id="a", num_gpus=1)
+        log.emit(
+            "place", 1.0, job_id="a", gpus=["m0/gpu0"], utility=0.9,
+            p2p=True, postponements=0,
+        )
+        path = log.write(tmp_path / "events.jsonl")
+        events = read_events(path)
+        assert [e["type"] for e in events] == ["arrival", "place"]
+        assert events[1]["utility"] == 0.9
+
+    def test_read_rejects_corrupt_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"schema": 1}\n')
+        with pytest.raises(ValueError, match="missing common field"):
+            read_events(path)
+
+    def test_read_rejects_non_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ValueError, match="not JSON"):
+            read_events(path)

@@ -1,0 +1,106 @@
+"""Prometheus/JSON exposition round-trips through the strict parser."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.export import (
+    parse_prometheus,
+    render_json,
+    render_prometheus,
+    sample_value,
+    write_metrics,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def make_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    c = reg.counter("repro_jobs_total", "Jobs seen.", ("scheduler",))
+    c.inc(4, scheduler="TOPO-AWARE-P")
+    c.inc(2, scheduler="FCFS")
+    g = reg.gauge("repro_queue_depth", "Queue depth.", ("scheduler",))
+    g.set(3, scheduler="TOPO-AWARE-P")
+    h = reg.histogram(
+        "repro_latency_seconds", "Latency.", ("scheduler",), buckets=(0.1, 1.0)
+    )
+    h.observe(0.05, scheduler="TOPO-AWARE-P")
+    h.observe(0.5, scheduler="TOPO-AWARE-P")
+    return reg
+
+
+class TestPrometheusText:
+    def test_headers_and_samples(self):
+        text = render_prometheus(make_registry())
+        assert "# HELP repro_jobs_total Jobs seen." in text
+        assert "# TYPE repro_jobs_total counter" in text
+        assert 'repro_jobs_total{scheduler="TOPO-AWARE-P"} 4' in text
+        assert "# TYPE repro_latency_seconds histogram" in text
+        assert (
+            'repro_latency_seconds_bucket{scheduler="TOPO-AWARE-P",le="+Inf"} 2'
+            in text
+        )
+
+    def test_round_trip_through_parser(self):
+        reg = make_registry()
+        families = parse_prometheus(render_prometheus(reg))
+        assert families["repro_jobs_total"]["type"] == "counter"
+        assert sample_value(
+            families, "repro_jobs_total", labels={"scheduler": "FCFS"}
+        ) == 2
+        assert sample_value(
+            families,
+            "repro_latency_seconds",
+            series="repro_latency_seconds_count",
+            labels={"scheduler": "TOPO-AWARE-P"},
+        ) == 2
+        assert sample_value(
+            families,
+            "repro_latency_seconds",
+            series="repro_latency_seconds_bucket",
+            labels={"scheduler": "TOPO-AWARE-P", "le": "0.1"},
+        ) == 1
+
+    def test_label_escaping_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter("weird_total", "x", ("name",)).inc(
+            name='quote " backslash \\ newline \n'
+        )
+        families = parse_prometheus(render_prometheus(reg))
+        (sample,) = families["weird_total"]["samples"]
+        assert sample["labels"]["name"] == 'quote " backslash \\ newline \n'
+
+    def test_special_float_values(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("edge", "x")
+        g.set(math.inf)
+        families = parse_prometheus(render_prometheus(reg))
+        assert families["edge"]["samples"][0]["value"] == math.inf
+
+    def test_parser_rejects_untyped_samples(self):
+        with pytest.raises(ValueError, match="no TYPE header"):
+            parse_prometheus("mystery_metric 1\n")
+
+    def test_parser_rejects_malformed_lines(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_prometheus("# TYPE x counter\nx{oops 1\n")
+
+
+class TestJsonExposition:
+    def test_families_and_samples(self):
+        doc = json.loads(render_json(make_registry()))
+        by_name = {f["name"]: f for f in doc["families"]}
+        assert by_name["repro_jobs_total"]["type"] == "counter"
+        values = {
+            s["labels"]["scheduler"]: s["value"]
+            for s in by_name["repro_jobs_total"]["samples"]
+        }
+        assert values == {"TOPO-AWARE-P": 4, "FCFS": 2}
+
+    def test_write_metrics_selects_format_by_suffix(self, tmp_path):
+        reg = make_registry()
+        prom = write_metrics(reg, tmp_path / "m.prom")
+        js = write_metrics(reg, tmp_path / "m.json")
+        assert prom.read_text().startswith("# HELP")
+        assert json.loads(js.read_text())["families"]

@@ -1,0 +1,113 @@
+"""Unit tests for the metric instruments and registry."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("jobs_total", "jobs", ("scheduler",))
+        assert c.value(scheduler="FCFS") == 0.0
+        c.inc(scheduler="FCFS")
+        c.inc(2.5, scheduler="FCFS")
+        assert c.value(scheduler="FCFS") == 3.5
+
+    def test_label_combinations_are_independent_series(self):
+        c = Counter("jobs_total", "jobs", ("scheduler",))
+        c.inc(scheduler="FCFS")
+        c.inc(3, scheduler="BF")
+        assert c.value(scheduler="FCFS") == 1.0
+        assert c.value(scheduler="BF") == 3.0
+        assert len(list(c.samples())) == 2
+
+    def test_rejects_decrease(self):
+        c = Counter("jobs_total", "jobs")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(-1)
+
+    def test_rejects_wrong_labels(self):
+        c = Counter("jobs_total", "jobs", ("scheduler",))
+        with pytest.raises(ValueError, match="labels"):
+            c.inc()
+        with pytest.raises(ValueError, match="labels"):
+            c.inc(scheduler="FCFS", extra="x")
+
+    def test_rejects_invalid_names(self):
+        with pytest.raises(ValueError, match="invalid metric name"):
+            Counter("0bad", "x")
+        with pytest.raises(ValueError, match="invalid label name"):
+            Counter("ok_total", "x", ("0bad",))
+        with pytest.raises(ValueError, match="invalid label name"):
+            Counter("ok_total", "x", ("__reserved",))
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("queue_depth", "depth")
+        g.set(5)
+        g.inc(2)
+        g.dec()
+        assert g.value() == 6.0
+
+
+class TestHistogram:
+    def test_cumulative_buckets_sum_count(self):
+        h = Histogram("lat", "latency", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        samples = {
+            (name, labels): value for name, labels, value in h.samples()
+        }
+        assert samples[("lat_bucket", (("le", "0.1"),))] == 1
+        assert samples[("lat_bucket", (("le", "1.0"),))] == 3
+        assert samples[("lat_bucket", (("le", "10.0"),))] == 4
+        assert samples[("lat_bucket", (("le", "+Inf"),))] == 5
+        assert samples[("lat_count", ())] == 5
+        assert samples[("lat_sum", ())] == pytest.approx(56.05)
+
+    def test_boundary_value_lands_in_its_bucket(self):
+        h = Histogram("lat", "latency", buckets=(1.0,))
+        h.observe(1.0)  # le is inclusive
+        samples = {
+            (name, labels): value for name, labels, value in h.samples()
+        }
+        assert samples[("lat_bucket", (("le", "1.0"),))] == 1
+        assert h.count() == 1
+
+    def test_explicit_inf_bucket_is_absorbed(self):
+        h = Histogram("lat", "latency", buckets=(1.0, math.inf))
+        assert h.buckets == (1.0,)
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError, match="increasing"):
+            Histogram("lat", "latency", buckets=(1.0, 0.5))
+
+
+class TestRegistry:
+    def test_create_or_get_is_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("jobs_total", "jobs", ("scheduler",))
+        b = reg.counter("jobs_total", "jobs", ("scheduler",))
+        assert a is b
+        assert len(reg.collect()) == 1
+
+    def test_redeclare_with_other_type_fails(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs_total", "jobs")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("jobs_total", "jobs")
+
+    def test_redeclare_with_other_labels_fails(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs_total", "jobs", ("scheduler",))
+        with pytest.raises(ValueError, match="already registered"):
+            reg.counter("jobs_total", "jobs", ("machine",))
+
+    def test_collect_preserves_registration_order(self):
+        reg = MetricsRegistry()
+        reg.counter("b_total", "b")
+        reg.gauge("a", "a")
+        assert [i.name for i in reg.collect()] == ["b_total", "a"]

@@ -139,3 +139,19 @@ class TestComparisonRunner:
         assert result.decision_rounds >= 1
         assert result.decision_time_s >= 0.0
         assert result.mean_decision_time_s >= 0.0
+
+    def test_decision_accounting_with_injected_clock_is_exact(self):
+        # every clock() reading advances 0.5 s; the engine reads twice
+        # per decision round, so each round accounts exactly 0.5 s
+        ticks = iter(x * 0.5 for x in range(10_000))
+        sim = Simulator(
+            power8_minsky(),
+            make_scheduler("TOPO-AWARE"),
+            [make_job("a", num_gpus=2, iterations=50)],
+            decision_clock=lambda: next(ticks),
+        )
+        result = sim.run()
+        assert result.decision_time_s == pytest.approx(
+            0.5 * result.decision_rounds
+        )
+        assert result.mean_decision_time_s == pytest.approx(0.5)

@@ -70,6 +70,45 @@ class TestSlowdowns:
         assert len(sorted_slowdowns([rec])) == 0
 
 
+class TestUnfinishedPolicy:
+    def unfinished_record(self):
+        rec = record()
+        rec.finished_at = None
+        return rec
+
+    def test_per_record_skip_returns_none(self):
+        rec = self.unfinished_record()
+        assert qos_slowdown(rec, unfinished="skip") is None
+        assert total_slowdown(rec, unfinished="skip") is None
+
+    def test_per_record_raise_is_default(self):
+        rec = self.unfinished_record()
+        with pytest.raises(ValueError, match="did not finish"):
+            qos_slowdown(rec)
+        with pytest.raises(ValueError, match="did not finish"):
+            total_slowdown(rec)
+
+    def test_sorted_slowdowns_raise_policy_surfaces_unfinished(self):
+        recs = [record("a"), self.unfinished_record()]
+        with pytest.raises(ValueError, match="did not finish"):
+            sorted_slowdowns(recs, unfinished="raise")
+        with pytest.raises(ValueError, match="did not finish"):
+            sorted_slowdowns(recs, include_waiting=True, unfinished="raise")
+
+    def test_sorted_slowdowns_skip_policy_is_default(self):
+        recs = [record("a"), self.unfinished_record()]
+        assert len(sorted_slowdowns(recs)) == 1
+
+    def test_invalid_policy_rejected_everywhere(self):
+        rec = record()
+        with pytest.raises(ValueError, match="unfinished must be one of"):
+            qos_slowdown(rec, unfinished="ignore")
+        with pytest.raises(ValueError, match="unfinished must be one of"):
+            total_slowdown(rec, unfinished="ignore")
+        with pytest.raises(ValueError, match="unfinished must be one of"):
+            sorted_slowdowns([rec], unfinished="ignore")
+
+
 class TestViolationsAndAggregates:
     def test_slo_violation_detected(self):
         ok = record("good", utility=0.8)

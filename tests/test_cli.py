@@ -64,6 +64,120 @@ class TestSimulateAndCompare:
             out = capsys.readouterr().out
             assert "p2p islands" in out
 
+    def test_scheduler_name_is_case_insensitive(self, capsys):
+        code = main(
+            ["simulate", "--jobs", "5", "--machines", "1",
+             "--scheduler", "topo-aware-p", "--seed", "1"]
+        )
+        assert code == 0
+        assert "scheduler: TOPO-AWARE-P" in capsys.readouterr().out
+
+    def test_simulate_gantt(self, capsys):
+        code = main(
+            ["simulate", "--jobs", "5", "--machines", "1",
+             "--scheduler", "TOPO-AWARE", "--seed", "1", "--gantt"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[TOPO-AWARE]" in out and "legend:" in out
+
+    def test_compare_gantt_renders_panel_per_policy(self, capsys):
+        code = main(
+            ["compare", "--jobs", "5", "--machines", "1", "--seed", "1",
+             "--gantt"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("BF", "FCFS", "TOPO-AWARE", "TOPO-AWARE-P"):
+            assert f"[{name}]" in out
+
+
+class TestTelemetryFlags:
+    def test_simulate_writes_all_three_sinks(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.prom"
+        events = tmp_path / "events.jsonl"
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            ["simulate", "--jobs", "5", "--machines", "1",
+             "--scheduler", "topo-aware-p", "--seed", "7",
+             "--metrics-out", str(metrics),
+             "--events-out", str(events),
+             "--trace-out", str(trace)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"metrics written to {metrics}" in out
+        assert "events written to" in out and "spans written to" in out
+
+        from repro.obs import parse_prometheus, read_events, read_trace
+
+        families = parse_prometheus(metrics.read_text())
+        assert len(families) >= 12
+        assert "repro_decision_latency_seconds" in families
+        events_list = read_events(events)
+        assert {e["type"] for e in events_list} >= {
+            "run_start", "arrival", "place", "finish", "run_end"
+        }
+        spans = read_trace(trace)
+        assert any(s["name"] == "sched.propose" for s in spans)
+
+    def test_metrics_json_suffix(self, tmp_path, capsys):
+        import json
+
+        metrics = tmp_path / "metrics.json"
+        code = main(
+            ["simulate", "--jobs", "5", "--machines", "1", "--seed", "7",
+             "--metrics-out", str(metrics)]
+        )
+        assert code == 0
+        payload = json.loads(metrics.read_text())
+        assert any(f["name"] == "repro_queue_depth" for f in payload["families"])
+
+    def test_compare_aggregates_all_policies(self, tmp_path, capsys):
+        metrics = tmp_path / "m.prom"
+        events = tmp_path / "e.jsonl"
+        code = main(
+            ["compare", "--jobs", "5", "--machines", "1", "--seed", "7",
+             "--metrics-out", str(metrics), "--events-out", str(events)]
+        )
+        assert code == 0
+        from repro.obs import parse_prometheus, read_events
+
+        families = parse_prometheus(metrics.read_text())
+        arrived = families["repro_jobs_arrived_total"]["samples"]
+        schedulers = {s["labels"]["scheduler"] for s in arrived}
+        assert schedulers == {"BF", "FCFS", "TOPO-AWARE", "TOPO-AWARE-P"}
+        events_list = read_events(events)
+        assert {e["scheduler"] for e in events_list} == schedulers
+
+    def test_trace_summarize_round_trip(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(
+            ["simulate", "--jobs", "5", "--machines", "1",
+             "--scheduler", "TOPO-AWARE-P", "--seed", "7",
+             "--trace-out", str(trace)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "=== job" in out and "sched.propose" in out
+
+    def test_trace_summarize_job_filter(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        main(
+            ["simulate", "--jobs", "5", "--machines", "1", "--seed", "7",
+             "--trace-out", str(trace)]
+        )
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(trace), "--job", "job0"]) == 0
+        out = capsys.readouterr().out
+        assert "=== job0" in out and "=== job1" not in out
+
+    def test_no_flags_no_files(self, tmp_path, capsys):
+        code = main(["simulate", "--jobs", "5", "--machines", "1", "--seed", "7"])
+        assert code == 0
+        assert "written to" not in capsys.readouterr().out
+
 
 class TestRunCommand:
     def test_prototype_run_from_configs(self, tmp_path, capsys):

@@ -55,6 +55,13 @@ class TestExamples:
         assert "Pod spec" in out
         assert "AlexNet batch 12" in out
 
+    def test_telemetry_tour(self):
+        out = run_example("telemetry_tour.py")
+        assert "repro_jobs_finished_total" in out
+        assert "Event log" in out and "arrival" in out and "finish" in out
+        assert "=== job0" in out and "sched.propose" in out
+        assert "final_outcome=placed" in out
+
     def test_paper_figures(self):
         out = run_example("paper_figures.py")
         for marker in (
