@@ -1,0 +1,95 @@
+"""Decision-round timing at the paper's evaluation scales (§5.5.3).
+
+The committed ``BENCH_fig10.json`` next to this file is the baseline
+CI regression-checks via ``repro bench --quick --check-against``; this
+module regenerates the same numbers under pytest, re-proves fast-path
+equivalence at bench scale, and microbenches the placement-memo hit
+path directly (full simulations rarely hit the memo — every enforced
+placement bumps the allocation epoch — so the memo's own speedup is
+measured where it applies: repeated proposals against a static pool).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.analysis.bench import check_equivalence, format_bench, run_bench
+from repro.analysis.scenarios import scenario1_jobs
+from repro.core.placement import PlacementEngine
+from repro.topology.allocation import AllocationState
+from repro.topology.builders import cluster
+from repro.workload.job import Job, ModelType
+
+
+def test_fig10_decision_rounds(write_result):
+    """Fig. 10 scale: 100 scenario-1 jobs on a 5-machine cluster."""
+    bench = run_bench("fig10", repeats=3)
+    assert bench.equivalence["identical"] is True
+    for name, row in bench.schedulers.items():
+        assert row["decision_rounds"] > 0, name
+    write_result(
+        "perf_fig10_decision_rounds",
+        format_bench(bench)
+        + "\n"
+        + json.dumps(bench.as_dict(), indent=2, sort_keys=True),
+    )
+
+
+def test_fig11_scaled_decision_rounds(write_result):
+    """Scaled-down Fig. 11 (scenario 2): 400 jobs on 40 machines."""
+    bench = run_bench(
+        "fig11", repeats=1, schedulers=("FCFS", "TOPO-AWARE", "TOPO-AWARE-P")
+    )
+    assert bench.equivalence["identical"] is True
+    write_result("perf_fig11_decision_rounds", format_bench(bench))
+
+
+def test_equivalence_at_bench_scale(write_result):
+    """Memo on vs off: identical placements on the bench workload."""
+    jobs = scenario1_jobs(100, seed=42)
+    verdicts = [
+        check_equivalence(jobs, 5, scheduler_name=name)
+        for name in ("TOPO-AWARE", "TOPO-AWARE-P")
+    ]
+    assert all(v["identical"] for v in verdicts)
+    write_result(
+        "perf_fastpath_equivalence",
+        "\n".join(
+            f"{v['scheduler']}: identical={v['identical']} "
+            f"memo={v['memo_stats']}" for v in verdicts
+        ),
+    )
+
+
+def test_memo_hit_path_speedup(write_result):
+    """Repeated proposals against a static pool must hit and be faster.
+
+    The threshold is deliberately conservative (2x) — the cold path
+    runs DRB over every candidate pool of a 20-machine cluster, the
+    hit path is a dict lookup plus one dataclass copy.
+    """
+    topo = cluster(20)
+    engine = PlacementEngine(topo, AllocationState(topo))
+    job = Job("warmup", ModelType.ALEXNET, 1, 4, min_utility=0.0)
+
+    t0 = time.perf_counter()
+    first = engine.propose(job)
+    cold_s = time.perf_counter() - t0
+    assert first is not None and engine.stats.misses == 1
+
+    n = 200
+    t0 = time.perf_counter()
+    for i in range(n):
+        assert engine.propose(
+            Job(f"j{i}", ModelType.ALEXNET, 1, 4, min_utility=0.0)
+        ) is not None
+    hit_s = (time.perf_counter() - t0) / n
+    assert engine.stats.hits == n
+    assert hit_s * 2 < cold_s, (hit_s, cold_s)
+    write_result(
+        "perf_memo_hit_path",
+        f"cold propose: {cold_s * 1e3:.3f}ms  "
+        f"memo hit: {hit_s * 1e6:.1f}us  "
+        f"speedup: {cold_s / hit_s:.0f}x",
+    )

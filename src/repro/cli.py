@@ -97,6 +97,33 @@ def _build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--svg", type=Path, default=None,
                          help="also render figures 4/5/6 as SVG here")
 
+    bench = sub.add_parser(
+        "bench", help="time scheduler decision rounds (perf trajectory)"
+    )
+    bench.add_argument("--scale", choices=("fig10", "fig11"), default="fig10",
+                       help="workload scale (fig10: 100 jobs/5 machines; "
+                       "fig11: scaled-down scenario 2)")
+    bench.add_argument("--jobs", type=int, default=None,
+                       help="override the scale's job count")
+    bench.add_argument("--machines", type=int, default=None,
+                       help="override the scale's machine count")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="runs per scheduler; best is reported")
+    bench.add_argument("--schedulers", default=None, metavar="A,B,...",
+                       help="comma-separated policies (default: FCFS,BF,"
+                       "TOPO-AWARE,TOPO-AWARE-P)")
+    bench.add_argument("--quick", action="store_true",
+                       help="CI mode: one repeat, TOPO-AWARE + FCFS only")
+    bench.add_argument("--no-verify", action="store_true",
+                       help="skip the fast-path equivalence check")
+    bench.add_argument("--out", type=Path, default=None, metavar="FILE",
+                       help="write the BENCH_*.json artifact here")
+    bench.add_argument("--check-against", type=Path, default=None,
+                       metavar="BENCH.json",
+                       help="fail when slower than this committed baseline")
+    bench.add_argument("--threshold", type=float, default=3.0,
+                       help="allowed slowdown vs the baseline (default 3.0x)")
+
     report = sub.add_parser(
         "report", help="generate the markdown reproduction report"
     )
@@ -354,6 +381,42 @@ def _cmd_figures(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.analysis.bench import (
+        compare_to_baseline,
+        format_bench,
+        run_bench,
+        write_bench,
+    )
+
+    if args.schedulers is not None:
+        schedulers = tuple(s.strip().upper() for s in args.schedulers.split(","))
+    elif args.quick:
+        schedulers = ("FCFS", "TOPO-AWARE")
+    else:
+        schedulers = ("FCFS", "BF", "TOPO-AWARE", "TOPO-AWARE-P")
+    bench = run_bench(
+        args.scale,
+        n_jobs=args.jobs,
+        n_machines=args.machines,
+        schedulers=schedulers,
+        repeats=1 if args.quick else args.repeats,
+        verify=not args.no_verify,
+    )
+    print(format_bench(bench))
+    if args.out is not None:
+        path = write_bench(bench, args.out)
+        print(f"bench artifact written to {path}")
+    if args.check_against is not None:
+        failures = compare_to_baseline(bench, args.check_against, args.threshold)
+        if failures:
+            for line in failures:
+                print(f"REGRESSION: {line}", file=sys.stderr)
+            return 1
+        print(f"within {args.threshold:.1f}x of {args.check_against}")
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.analysis.report import generate_report, write_report
 
@@ -373,6 +436,7 @@ def main(argv: list[str] | None = None) -> int:
         "compare": _cmd_compare,
         "topo": _cmd_topo,
         "figures": _cmd_figures,
+        "bench": _cmd_bench,
         "report": _cmd_report,
         "trace": _cmd_trace,
     }

@@ -10,7 +10,8 @@ the proposed solution.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import OrderedDict
+from dataclasses import dataclass, replace
 from typing import Mapping
 
 from repro.core.constraints import CandidatePool, filter_hosts
@@ -50,8 +51,46 @@ class PlacementSolution:
         return True
 
 
+@dataclass
+class PlacementStats:
+    """Placement-memo effectiveness counters (exported via ``obs``)."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "hit_rate": self.hit_rate,
+        }
+
+
+#: distinguishes "memoised None (no fit)" from "not memoised"
+_MISS = object()
+
+
 class PlacementEngine:
-    """Computes topology-aware placements over a live allocation state."""
+    """Computes topology-aware placements over a live allocation state.
+
+    ``memo_size`` bounds the propose memo: solved proposals (including
+    no-fit ``None`` results) are reused for equivalent jobs while the
+    allocation state is unchanged.  The memo is invalidated wholesale
+    whenever :attr:`AllocationState.version` moves (any allocate /
+    release / machine-health delta), so a hit can only ever replay a
+    decision the seed engine would recompute identically.  ``0``
+    disables memoisation entirely.
+    """
 
     def __init__(
         self,
@@ -60,6 +99,7 @@ class PlacementEngine:
         params: UtilityParams = UtilityParams(),
         profiles: ProfileDatabase | None = None,
         interference_model: InterferenceModel | None = None,
+        memo_size: int = 512,
     ) -> None:
         self.topo = topo
         self.alloc = alloc
@@ -67,6 +107,10 @@ class PlacementEngine:
         self.profiles = profiles or default_database()
         self.interference = interference_model or InterferenceModel(topo)
         self._reference_bw = self._max_pair_bandwidth()
+        self.memo_size = memo_size
+        self.stats = PlacementStats()
+        self._memo: OrderedDict[tuple, PlacementSolution | None] = OrderedDict()
+        self._memo_version = -1
 
     def _max_pair_bandwidth(self) -> float:
         """Best GPU-pair bandwidth on the first machine (normalisation base)."""
@@ -89,13 +133,71 @@ class PlacementEngine:
     #: while keeping large-cluster scheduling tractable.
     max_pools: int = 8
 
+    def _memo_key(
+        self, job: Job, co_runners: Mapping[str, tuple[Job, frozenset[str]]]
+    ) -> tuple:
+        """Equivalence class of a proposal.
+
+        Two proposals with equal keys are guaranteed the same answer:
+        every job field :meth:`propose` reads is included (``job_id``,
+        ``iterations``, ``min_utility``, ``arrival_time`` and ``tags``
+        are provably unread there), the free-pool signature pins the
+        capacity picture and the co-runner id set pins the
+        interference neighbourhood.  Allocation-epoch invalidation
+        already covers both snapshots; keeping them in the key is
+        defence in depth against callers mutating state out of band.
+        """
+        return (
+            job.model,
+            job.batch_size,
+            job.num_gpus,
+            job.comm_pattern,
+            job.anti_collocation,
+            job.single_node,
+            job.p2p,
+            self.alloc.free_pool_signature(),
+            frozenset(co_runners),
+        )
+
     def propose(
         self,
         job: Job,
         co_runners: Mapping[str, tuple[Job, frozenset[str]]] | None = None,
     ) -> PlacementSolution | None:
-        """Best placement currently available, or ``None`` if none fits."""
+        """Best placement currently available, or ``None`` if none fits.
+
+        Memoised per allocation epoch (see class docstring); a hit
+        returns the cached solution re-labelled with this job's id.
+        """
         co_runners = co_runners or {}
+        if self.memo_size <= 0:
+            return self._propose(job, co_runners)
+        version = self.alloc.version
+        if version != self._memo_version:
+            if self._memo:
+                self._memo.clear()
+                self.stats.invalidations += 1
+            self._memo_version = version
+        key = self._memo_key(job, co_runners)
+        cached = self._memo.get(key, _MISS)
+        if cached is not _MISS:
+            self._memo.move_to_end(key)
+            self.stats.hits += 1
+            if cached is None:
+                return None
+            return replace(cached, job_id=job.job_id)
+        self.stats.misses += 1
+        solution = self._propose(job, co_runners)
+        self._memo[key] = solution
+        if len(self._memo) > self.memo_size:
+            self._memo.popitem(last=False)
+        return solution
+
+    def _propose(
+        self,
+        job: Job,
+        co_runners: Mapping[str, tuple[Job, frozenset[str]]],
+    ) -> PlacementSolution | None:
         pools = filter_hosts(
             self.topo, self.alloc, job, co_runners, self.profiles
         )

@@ -110,6 +110,19 @@ class TelemetryObserver(BaseObserver):
             "repro_placement_utility",
             "Normalised utility of enforced placements (Eq. 1).",
             labels, buckets=_UTILITY_BUCKETS)
+        self._memo_hits = reg.counter(
+            "repro_placement_cache_hits_total",
+            "Placement-memo hits (proposals replayed from cache).", labels)
+        self._memo_misses = reg.counter(
+            "repro_placement_cache_misses_total",
+            "Placement-memo misses (proposals solved from scratch).", labels)
+        self._memo_invalidations = reg.counter(
+            "repro_placement_cache_invalidations_total",
+            "Placement-memo flushes caused by allocation-state deltas.",
+            labels)
+        self._memo_hit_rate = reg.gauge(
+            "repro_placement_cache_hit_rate",
+            "Fraction of proposals served from the placement memo.", labels)
 
     # ------------------------------------------------------------------
     def _gpu_gauges(self) -> None:
@@ -133,12 +146,22 @@ class TelemetryObserver(BaseObserver):
     def run_end(self, result) -> None:
         finished = sum(1 for r in result.records if r.finished_at is not None)
         unplaceable = sum(1 for r in result.records if r.unplaceable)
+        stats = getattr(result, "placement_stats", None) or {}
+        if stats:
+            sched = self.scheduler
+            self._memo_hits.inc(stats.get("hits", 0), scheduler=sched)
+            self._memo_misses.inc(stats.get("misses", 0), scheduler=sched)
+            self._memo_invalidations.inc(
+                stats.get("invalidations", 0), scheduler=sched
+            )
+            self._memo_hit_rate.set(stats.get("hit_rate", 0.0), scheduler=sched)
         self._emit(
             "run_end",
             result.makespan,
             makespan=result.makespan,
             finished=finished,
             unplaceable=unplaceable,
+            **({"placement_cache": stats} if stats else {}),
         )
 
     # ------------------------------------------------------------------

@@ -58,24 +58,48 @@ def _avg_demand(cal: Calibration, model: ModelType, batch_class: BatchClass) -> 
     return mc.comm_volume_gb / (comm + compute)
 
 
+def _coefficients(
+    cal: Calibration, model: ModelType, batch_class: BatchClass
+) -> tuple[float, float]:
+    """(sensitivity, pressure) for one (model, batch class), memoized.
+
+    Both are pure in ``(cal, model, batch_class)`` and evaluated for
+    every co-runner pair on every interference query, so the memo is
+    attached to the (frozen, unhashable) :class:`Calibration` instance
+    itself via ``object.__setattr__`` — the cached floats are the very
+    values the direct computation produces.
+    """
+    cache = getattr(cal, "_coefficient_cache", None)
+    if cache is None:
+        cache = {}
+        object.__setattr__(cal, "_coefficient_cache", cache)
+    key = (model, batch_class)
+    out = cache.get(key)
+    if out is None:
+        s_rel = _comm_fraction(cal, model, batch_class) / _comm_fraction(
+            cal, ModelType.ALEXNET, batch_class
+        )
+        p_rel = _avg_demand(cal, model, batch_class) / _avg_demand(
+            cal, ModelType.ALEXNET, batch_class
+        )
+        out = (
+            min(1.0, cal.sensitivity[batch_class] * s_rel),
+            min(1.0, cal.pressure[batch_class] * p_rel),
+        )
+        cache[key] = out
+    return out
+
+
 def sensitivity(
     cal: Calibration, model: ModelType, batch_class: BatchClass
 ) -> float:
     """Victim-side sensitivity in [0, 1]."""
-    base = cal.sensitivity[batch_class]
-    rel = _comm_fraction(cal, model, batch_class) / _comm_fraction(
-        cal, ModelType.ALEXNET, batch_class
-    )
-    return min(1.0, base * rel)
+    return _coefficients(cal, model, batch_class)[0]
 
 
 def pressure(cal: Calibration, model: ModelType, batch_class: BatchClass) -> float:
     """Aggressor-side pressure in [0, 1]."""
-    base = cal.pressure[batch_class]
-    rel = _avg_demand(cal, model, batch_class) / _avg_demand(
-        cal, ModelType.ALEXNET, batch_class
-    )
-    return min(1.0, base * rel)
+    return _coefficients(cal, model, batch_class)[1]
 
 
 def pairwise_slowdown(
@@ -92,8 +116,8 @@ def pairwise_slowdown(
     """
     if not 0.0 <= sharing <= 1.0:
         raise ValueError(f"sharing must be in [0, 1], got {sharing}")
-    s = sensitivity(cal, victim.model, victim.batch_class)
-    p = pressure(cal, aggressor.model, aggressor.batch_class)
+    s = _coefficients(cal, victim.model, victim.batch_class)[0]
+    p = _coefficients(cal, aggressor.model, aggressor.batch_class)[1]
     return s * p * min(1.0, sharing / SHARING_REF)
 
 

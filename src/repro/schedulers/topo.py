@@ -43,10 +43,9 @@ class TopoAwareScheduler(Scheduler):
         placed: list[PlacementSolution] = []
         co = dict(ctx.co_runners)
         max_free = ctx.alloc.max_free_count()
+        total_free = ctx.alloc.total_free_count()
         for entry in list(self._queue):
             job = entry.job
-            if job.single_node and job.num_gpus > max_free:
-                continue  # no machine has the capacity right now
             with _trace.span(
                 "sched.propose",
                 job_id=job.job_id,
@@ -54,6 +53,16 @@ class TopoAwareScheduler(Scheduler):
                 num_gpus=job.num_gpus,
                 queued=len(self._queue),
             ) as sp:
+                # capacity pruning: reject a job the cluster cannot hold
+                # before DRB runs.  Same no-fit answer (filter_hosts
+                # would return no pool), at O(1) per job — but unlike
+                # the old silent skip it still emits the span and the
+                # no-fit outcome Algorithm 1's per-iteration pop implies.
+                if (job.single_node and job.num_gpus > max_free) or (
+                    not job.single_node and job.num_gpus > total_free
+                ):
+                    sp.set(outcome="no-fit", reason="capacity")
+                    continue
                 solution = ctx.engine.propose(job, co)
                 if solution is None:
                     # Algorithm 1 pops every queued job per iteration: a
@@ -75,6 +84,7 @@ class TopoAwareScheduler(Scheduler):
                 placed.append(solution)
                 sp.set(outcome="placed", gpus=len(solution.gpus))
             max_free = ctx.alloc.max_free_count()
+            total_free = ctx.alloc.total_free_count()
             if max_free == 0:
                 break
         return placed

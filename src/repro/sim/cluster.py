@@ -24,7 +24,7 @@ from repro.core.placement import PlacementEngine, PlacementSolution
 from repro.core.utility import UtilityParams
 from repro.perf.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.perf.interference import InterferenceModel
-from repro.perf.model import PerformanceModel
+from repro.perf.model import PerformanceModel, Placement
 from repro.sim.events import Finish
 from repro.topology.allocation import AllocationState
 from repro.topology.graph import TopologyGraph
@@ -91,19 +91,28 @@ class ClusterState:
         return {self.topo.machine_of(g) for g in gpus}
 
     def ideal_exec_time(self, job: Job) -> float:
-        """Best-pack-on-empty-cluster execution time, memoized."""
-        key = (job.model, job.batch_size, job.num_gpus, job.iterations)
+        """Best-pack-on-empty-cluster execution time, memoized.
+
+        The memo holds the per-*iteration* ideal time, keyed by every
+        job field the performance model reads — including
+        ``comm_pattern``, which :meth:`PerformanceModel.solo_exec_time`
+        branches on (model-parallel chains/rings cost differently from
+        data-parallel all-reduce) — so jobs that differ only in
+        ``iterations`` share one entry instead of colliding or missing.
+        """
+        key = (job.model, job.batch_size, job.num_gpus, job.comm_pattern)
         cached = self._ideal_cache.get(key)
         if cached is None:
             try:
-                cached = self.perf.ideal_exec_time(job)
+                gpus = self.perf.placement_gpus(job, Placement.PACK)
+                cached = self.perf.iteration_time(job, gpus)
             except ValueError:
                 # job larger than the whole topology: it can never be
                 # placed, so there is no ideal time (record stays 0 and
                 # the job ends up marked unplaceable)
                 cached = 0.0
             self._ideal_cache[key] = cached
-        return cached
+        return job.iterations * cached
 
     # ------------------------------------------------------------------
     # time

@@ -214,6 +214,7 @@ class Simulator:
             makespan=makespan,
             decision_time_s=accounting.decision_time_s,
             decision_rounds=accounting.rounds,
+            placement_stats=cluster.engine.stats.as_dict(),
         )
 
 

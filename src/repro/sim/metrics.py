@@ -51,6 +51,8 @@ def qos_slowdown(record: JobRecord, unfinished: str = "raise") -> float | None:
             return None
         raise ValueError(f"{record.job.job_id} did not finish")
     if record.ideal_exec_time <= 0:
+        if unfinished == "skip":
+            return None
         raise ValueError(f"{record.job.job_id} has no ideal time")
     return max(0.0, record.exec_time / record.ideal_exec_time - 1.0)
 
@@ -58,13 +60,20 @@ def qos_slowdown(record: JobRecord, unfinished: str = "raise") -> float | None:
 def total_slowdown(record: JobRecord, unfinished: str = "raise") -> float | None:
     """Slowdown including scheduler queue waiting time.
 
-    Same ``unfinished`` policy as :func:`qos_slowdown`.
+    Same ``unfinished`` policy as :func:`qos_slowdown` — including the
+    guard against records with no ideal time (e.g. a job marked
+    unplaceable caches an ideal of 0.0), which raise a clear
+    :class:`ValueError` instead of a bare ``ZeroDivisionError``.
     """
     _check_unfinished(unfinished)
     if record.finished_at is None:
         if unfinished == "skip":
             return None
         raise ValueError(f"{record.job.job_id} did not finish")
+    if record.ideal_exec_time <= 0:
+        if unfinished == "skip":
+            return None
+        raise ValueError(f"{record.job.job_id} has no ideal time")
     span = record.finished_at - record.arrival
     return max(0.0, span / record.ideal_exec_time - 1.0)
 

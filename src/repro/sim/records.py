@@ -54,6 +54,10 @@ class SimulationResult:
     makespan: float
     decision_time_s: float  # wall-clock spent inside scheduler.schedule
     decision_rounds: int
+    #: placement-memo counters (hits/misses/invalidations/hit_rate) as
+    #: reported by :class:`repro.core.placement.PlacementStats`; empty
+    #: for runs whose engine exposes none.
+    placement_stats: dict = field(default_factory=dict)
     _index: dict[str, JobRecord] | None = field(
         default=None, init=False, repr=False, compare=False
     )

@@ -12,6 +12,7 @@ access; only buses are shared).
 from __future__ import annotations
 
 import itertools
+from collections import OrderedDict
 from typing import FrozenSet, Iterable, Mapping
 
 from repro.topology.graph import NodeKind, TopologyGraph
@@ -21,21 +22,38 @@ class AllocationError(RuntimeError):
     """Raised on conflicting or unknown allocations."""
 
 
+#: bound on the GPU-set -> bus-links memo; old entries are evicted in
+#: LRU order so 10k-job churn cannot grow the cache without limit.
+LINKS_CACHE_MAX = 4096
+
+
 class AllocationState:
-    """Mutable view of which job owns which GPUs on a topology."""
+    """Mutable view of which job owns which GPUs on a topology.
+
+    Every state mutation (allocate / release / machine down / machine
+    up) bumps :attr:`version`, so derived caches — the placement memo
+    in :class:`repro.core.placement.PlacementEngine`, the free-pool
+    signature here — can be invalidated by a single integer compare
+    instead of tracking individual deltas.
+    """
 
     def __init__(self, topo: TopologyGraph) -> None:
         self.topo = topo
+        self.version = 0
         self._gpu_owner: dict[str, str] = {}
         self._job_gpus: dict[str, frozenset[str]] = {}
         self._all_gpus = tuple(topo.gpus())
-        self._links_cache: dict[frozenset[str], frozenset[tuple[str, str]]] = {}
+        self._links_cache: OrderedDict[
+            frozenset[str], frozenset[tuple[str, str]]
+        ] = OrderedDict()
         # O(1) per-machine free-count bookkeeping for large clusters
         self._free_count: dict[str, int] = {
             m: len(topo.gpus(machine=m)) for m in topo.machines()
         }
         self._jobs_by_machine: dict[str, set[str]] = {m: set() for m in topo.machines()}
         self._down_machines: set[str] = set()
+        self._signature: tuple | None = None
+        self._signature_version = -1
 
     # ------------------------------------------------------------------
     # mutation
@@ -59,6 +77,7 @@ class AllocationState:
             self._jobs_by_machine[m].add(job_id)
         for g in gpu_set:
             self._free_count[self.topo.machine_of(g)] -= 1
+        self.version += 1
 
     def release(self, job_id: str) -> frozenset[str]:
         try:
@@ -70,6 +89,7 @@ class AllocationState:
             self._free_count[self.topo.machine_of(g)] += 1
         for m in {self.topo.machine_of(g) for g in gpus}:
             self._jobs_by_machine[m].discard(job_id)
+        self.version += 1
         return gpus
 
     # ------------------------------------------------------------------
@@ -123,6 +143,35 @@ class AllocationState:
             default=0,
         )
 
+    def total_free_count(self) -> int:
+        """Free GPUs across all healthy machines, O(machines).
+
+        The capacity ceiling for machine-spanning placements: a job
+        needing more GPUs than this cannot fit even when allowed to
+        span machines.
+        """
+        return sum(
+            c for m, c in self._free_count.items() if m not in self._down_machines
+        )
+
+    def free_pool_signature(self) -> tuple:
+        """Hashable snapshot of per-machine free capacity and health.
+
+        Cached per :attr:`version` so repeated reads within one
+        allocation epoch cost two attribute loads.  The signature
+        deliberately tracks free *counts*, not free GPU identities:
+        consumers (the placement memo) also key on the epoch, so a
+        coarse signature only ever widens the invalidation, never
+        misses one.
+        """
+        if self._signature_version != self.version:
+            self._signature = (
+                tuple(sorted(self._free_count.items())),
+                frozenset(self._down_machines),
+            )
+            self._signature_version = self.version
+        return self._signature
+
     # ------------------------------------------------------------------
     # machine health (failure injection)
     # ------------------------------------------------------------------
@@ -135,12 +184,14 @@ class AllocationState:
         if machine not in self._free_count:
             raise AllocationError(f"unknown machine {machine!r}")
         self._down_machines.add(machine)
+        self.version += 1
         return sorted(self._jobs_by_machine[machine])
 
     def set_machine_up(self, machine: str) -> None:
         if machine not in self._free_count:
             raise AllocationError(f"unknown machine {machine!r}")
         self._down_machines.discard(machine)
+        self.version += 1
 
     def is_machine_up(self, machine: str) -> bool:
         return machine not in self._down_machines
@@ -194,6 +245,7 @@ class AllocationState:
         gpu_set = frozenset(gpus)
         cached = self._links_cache.get(gpu_set)
         if cached is not None:
+            self._links_cache.move_to_end(gpu_set)
             return cached
         edges: set[tuple[str, str]] = set()
         ordered = sorted(gpu_set)
@@ -201,11 +253,14 @@ class AllocationState:
             for edge in self.topo.path_edges(a, b):
                 edges.add(edge.key)
         for g in ordered:
-            for edge in self.topo.path_edges(g, self.topo.socket_of(g)):
+            socket = self.topo.socket_of(g)
+            for edge in self.topo.path_edges(g, socket):
                 edges.add(edge.key)
-            edges.add(("dram", self.topo.socket_of(g)))
+            edges.add(("dram", socket))
         result = frozenset(edges)
         self._links_cache[gpu_set] = result
+        if len(self._links_cache) > LINKS_CACHE_MAX:
+            self._links_cache.popitem(last=False)
         return result
 
     def shared_links(

@@ -32,6 +32,12 @@ class TopologyError(ValueError):
     """Raised for malformed topology construction or queries."""
 
 
+#: Topologies with more GPUs than this never materialise the dense
+#: all-pairs GPU distance matrix (memory grows as ``n_gpus**2``) and
+#: keep the per-source Dijkstra cache as their only fast path.
+MATRIX_MAX_GPUS = 2048
+
+
 class NodeKind(enum.Enum):
     NETWORK = "network"
     MACHINE = "machine"
@@ -77,12 +83,21 @@ class Edge:
 @dataclass
 class _Caches:
     dist: dict[tuple[str, str | None], dict[str, float]] = field(default_factory=dict)
-    widest: dict[str, dict[str, float]] = field(default_factory=dict)
+    widest: dict[tuple[str, str | None], dict[str, float]] = field(default_factory=dict)
     paths: dict[tuple[str, str], tuple[str, ...]] = field(default_factory=dict)
     machines: list[str] | None = None
     gpu_lists: dict[tuple[str | None, str | None], list[str]] = field(
         default_factory=dict
     )
+    machine_map: dict[str, str] = field(default_factory=dict)
+    socket_map: dict[str, str] = field(default_factory=dict)
+    #: all-pairs unscoped GPU shortest-path distances (Eq. 3's
+    #: precomputed form): row index per GPU name plus per-GPU row lists
+    #: for fast scalar access.  ``gpu_index is None`` = not built yet;
+    #: an empty index = matrix unavailable (size cap or disconnected
+    #: GPUs) and callers fall through to the per-source Dijkstra path.
+    gpu_index: dict[str, int] | None = None
+    gpu_rows: list[list[float]] | None = None
 
     def clear(self) -> None:
         self.dist.clear()
@@ -90,6 +105,10 @@ class _Caches:
         self.paths.clear()
         self.machines = None
         self.gpu_lists.clear()
+        self.machine_map.clear()
+        self.socket_map.clear()
+        self.gpu_index = None
+        self.gpu_rows = None
 
 
 class TopologyGraph:
@@ -223,20 +242,32 @@ class TopologyGraph:
         )
 
     def machine_of(self, name: str) -> str:
+        cached = self._caches.machine_map.get(name)
+        if cached is not None:
+            return cached
         node = self.node(name)
         if node.kind is NodeKind.MACHINE:
-            return node.name
-        if node.machine is None:
+            result = node.name
+        elif node.machine is None:
             raise TopologyError(f"node {name!r} has no machine")
-        return node.machine
+        else:
+            result = node.machine
+        self._caches.machine_map[name] = result
+        return result
 
     def socket_of(self, name: str) -> str:
+        cached = self._caches.socket_map.get(name)
+        if cached is not None:
+            return cached
         node = self.node(name)
         if node.kind is NodeKind.SOCKET:
-            return node.name
-        if node.socket is None:
+            result = node.name
+        elif node.socket is None:
             raise TopologyError(f"node {name!r} has no socket")
-        return node.socket
+        else:
+            result = node.socket
+        self._caches.socket_map[name] = result
+        return result
 
     def gpu_index_of(self, name: str) -> int:
         node = self.node(name)
@@ -297,8 +328,62 @@ class TopologyGraph:
         )
         return mu if (mu is not None and mu == mv) else None
 
+    def _gpu_matrix_index(self) -> dict[str, int]:
+        """Row index of the all-pairs GPU distance matrix, building it
+        lazily on first use.
+
+        The matrix stores *unscoped* Dijkstra distances — the exact
+        values :meth:`distance` uses for cross-machine pairs and
+        :meth:`pairwise_distance_sum` uses for machine-spanning GPU
+        sets — so serving those queries from it is bit-identical to the
+        per-call search.  An empty index means the matrix is
+        unavailable (more than :data:`MATRIX_MAX_GPUS` GPUs, or a
+        disconnected GPU pair) and callers must fall back.
+        """
+        index = self._caches.gpu_index
+        if index is not None:
+            return index
+        order = self.gpus()
+        caches = self._caches
+        if not order or len(order) > MATRIX_MAX_GPUS:
+            caches.gpu_index = {}
+            return caches.gpu_index
+        index = {name: i for i, name in enumerate(order)}
+        rows: list[list[float]] = []
+        for u in order:
+            # keep build memory bounded: full-graph rows we computed
+            # only for the matrix are dropped from the Dijkstra cache
+            fresh = (u, None) not in caches.dist
+            dist = self._dijkstra(u, None)
+            row = [0.0] * len(order)
+            for j, v in enumerate(order):
+                if v == u:
+                    continue
+                d = dist.get(v)
+                if d is None:
+                    caches.gpu_index = {}
+                    return caches.gpu_index
+                row[j] = d
+            rows.append(row)
+            if fresh:
+                caches.dist.pop((u, None), None)
+        caches.gpu_index = index
+        caches.gpu_rows = rows
+        return index
+
     def distance(self, u: str, v: str) -> float:
         """Shortest-path distance (sum of qualitative edge weights)."""
+        index = self._gpu_matrix_index()
+        if index:
+            i = index.get(u)
+            j = index.get(v)
+            if i is not None and j is not None:
+                if i == j:
+                    return 0.0
+                # matrix rows are unscoped; same-machine queries keep
+                # the scoped search whose per-source cache is hot anyway
+                if self._nodes[u].machine != self._nodes[v].machine:
+                    return self._caches.gpu_rows[i][j]
         self.node(u)
         self.node(v)
         if u == v:
@@ -311,11 +396,11 @@ class TopologyGraph:
 
     def shortest_path(self, u: str, v: str) -> tuple[str, ...]:
         """One shortest path from ``u`` to ``v`` as a node-name tuple."""
+        self.node(u)
+        self.node(v)
         cached = self._caches.paths.get((u, v))
         if cached is not None:
             return cached
-        self.node(u)
-        self.node(v)
         if u == v:
             return (u,)
         scope = self._scope_for(u, v)
@@ -369,11 +454,12 @@ class TopologyGraph:
         the NVLink bandwidth, while cross-socket pairs are limited by
         the system bus.
         """
+        self.node(u)
         self.node(v)
         if u == v:
             return float("inf")
         scope = self._scope_for(u, v)
-        key = f"{u}|{scope}"
+        key = (u, scope)
         cached = self._caches.widest.get(key)
         if cached is None:
             cached = self._widest_from(u, scope)
@@ -416,6 +502,13 @@ class TopologyGraph:
         Returns the node order and a symmetric float matrix.
         """
         order = list(names) if names is not None else self.gpus()
+        index = self._gpu_matrix_index()
+        if index and all(name in index for name in order):
+            rows = self._caches.gpu_rows
+            ids = [index[name] for name in order]
+            return order, np.array(
+                [[rows[i][j] for j in ids] for i in ids], dtype=float
+            )
         n = len(order)
         mat = np.zeros((n, n), dtype=float)
         for i, u in enumerate(order):
@@ -438,6 +531,21 @@ class TopologyGraph:
             return 0.0
         machines = {self._nodes[n].machine for n in names}
         scope = machines.pop() if len(machines) == 1 else None
+        if scope is None:
+            # machine-spanning sets use unscoped distances — exactly
+            # what the matrix stores.  Same pair order and accumulation
+            # as the Dijkstra loop below, so the sum is bit-identical.
+            index = self._gpu_matrix_index()
+            if index:
+                rows = self._caches.gpu_rows
+                ids = [index.get(n) for n in names]
+                if None not in ids:
+                    total = 0.0
+                    for a, i in enumerate(ids):
+                        row = rows[i]
+                        for j in ids[a + 1 :]:
+                            total += row[j]
+                    return total
         total = 0.0
         for i, u in enumerate(names):
             dist = self._dijkstra(u, scope)

@@ -47,6 +47,7 @@ class JobGraph:
             raise ValueError("a job graph needs at least one task")
         self.n_tasks = n_tasks
         self._w: dict[tuple[int, int], float] = {}
+        self._degrees: list[float] | None = None
         for u, v, w in edges:
             self.add_edge(u, v, w)
 
@@ -63,6 +64,7 @@ class JobGraph:
         if weight < 0:
             raise ValueError("edge weight must be non-negative")
         self._w[self._key(u, v)] = float(weight)
+        self._degrees = None
 
     def weight(self, u: int, v: int) -> float:
         if u == v:
@@ -82,8 +84,23 @@ class JobGraph:
         return sum(self._w.values())
 
     def degree(self, task: int) -> float:
-        """Sum of edge weights incident to ``task``."""
-        return sum(w for (u, v), w in self._w.items() if task in (u, v))
+        """Sum of edge weights incident to ``task``.
+
+        All degrees are materialised in one pass over the edge dict
+        (and invalidated on mutation); per-task accumulation follows
+        the same insertion order as the direct scan, so the cached
+        floats are identical to it.
+        """
+        if not 0 <= task < self.n_tasks:
+            return 0.0
+        degrees = self._degrees
+        if degrees is None:
+            degrees = [0.0] * self.n_tasks
+            for (u, v), w in self._w.items():
+                degrees[u] += w
+                degrees[v] += w
+            self._degrees = degrees
+        return degrees[task]
 
     def weight_to(self, task: int, others: Iterable[int]) -> float:
         """Total edge weight from ``task`` into the set ``others``."""

@@ -1,0 +1,168 @@
+"""Placement-memo behaviour: hits, invalidation, bounds, equivalence.
+
+The memo must be an invisible optimisation: every answer it replays
+has to be field-for-field what a cold engine would compute, and any
+allocation-state delta must flush it.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.placement import PlacementEngine
+from repro.topology.allocation import AllocationState
+from repro.topology.builders import cluster
+from repro.workload.job import ModelType
+
+from tests.conftest import make_job
+
+
+def _solution_fields(solution):
+    if solution is None:
+        return None
+    return (
+        solution.gpus,
+        dict(solution.task_mapping),
+        solution.metrics,
+        solution.pool,
+        solution.p2p,
+    )
+
+
+class TestMemoHits:
+    def test_second_identical_propose_hits(self, minsky):
+        engine = PlacementEngine(minsky, AllocationState(minsky))
+        job_a = make_job("a", num_gpus=2)
+        job_b = make_job("b", num_gpus=2)
+        first = engine.propose(job_a)
+        second = engine.propose(job_b)
+        assert engine.stats.misses == 1
+        assert engine.stats.hits == 1
+        # identical placement, re-labelled for the asking job
+        assert first.job_id == "a" and second.job_id == "b"
+        assert _solution_fields(first) == _solution_fields(second)
+
+    def test_no_fit_is_memoised_too(self, minsky):
+        engine = PlacementEngine(minsky, AllocationState(minsky))
+        giant = make_job("g", num_gpus=5)  # minsky has 4 GPUs
+        assert engine.propose(giant) is None
+        assert engine.propose(make_job("g2", num_gpus=5)) is None
+        assert engine.stats.hits == 1 and engine.stats.misses == 1
+
+    def test_different_class_misses(self, minsky):
+        engine = PlacementEngine(minsky, AllocationState(minsky))
+        engine.propose(make_job("a", num_gpus=2))
+        engine.propose(make_job("b", num_gpus=1))
+        assert engine.stats.misses == 2 and engine.stats.hits == 0
+
+    def test_hit_rate(self, minsky):
+        engine = PlacementEngine(minsky, AllocationState(minsky))
+        assert engine.stats.hit_rate == 0.0
+        engine.propose(make_job("a", num_gpus=2))
+        engine.propose(make_job("b", num_gpus=2))
+        assert engine.stats.hit_rate == pytest.approx(0.5)
+
+
+class TestInvalidation:
+    def test_allocate_flushes(self, minsky):
+        alloc = AllocationState(minsky)
+        engine = PlacementEngine(minsky, alloc)
+        engine.propose(make_job("a", num_gpus=2))
+        alloc.allocate("other", minsky.gpus()[:1])
+        engine.propose(make_job("b", num_gpus=2))
+        assert engine.stats.misses == 2
+        assert engine.stats.hits == 0
+        assert engine.stats.invalidations == 1
+
+    def test_release_flushes(self, minsky):
+        alloc = AllocationState(minsky)
+        engine = PlacementEngine(minsky, alloc)
+        alloc.allocate("other", minsky.gpus()[:1])
+        engine.propose(make_job("a", num_gpus=2))
+        alloc.release("other")
+        engine.propose(make_job("b", num_gpus=2))
+        assert engine.stats.misses == 2 and engine.stats.hits == 0
+
+    def test_machine_health_flushes(self):
+        topo = cluster(2)
+        alloc = AllocationState(topo)
+        engine = PlacementEngine(topo, alloc)
+        engine.propose(make_job("a", num_gpus=2))
+        down = topo.machines()[1]
+        alloc.set_machine_down(down)
+        solution = engine.propose(make_job("b", num_gpus=2))
+        assert engine.stats.misses == 2 and engine.stats.hits == 0
+        assert down not in {topo.machine_of(g) for g in solution.gpus}
+
+    def test_enforce_flushes_own_memo(self, minsky):
+        engine = PlacementEngine(minsky, AllocationState(minsky))
+        solution = engine.propose(make_job("a", num_gpus=2))
+        engine.enforce(solution)
+        engine.propose(make_job("b", num_gpus=2))
+        assert engine.stats.misses == 2 and engine.stats.hits == 0
+
+
+class TestBounds:
+    def test_memo_is_lru_bounded(self, minsky):
+        engine = PlacementEngine(minsky, AllocationState(minsky), memo_size=3)
+        for n in (1, 2, 3, 4):
+            engine.propose(make_job(f"j{n}", num_gpus=n))
+        assert len(engine._memo) == 3
+        # the oldest class (num_gpus=1) was evicted: proposing it again misses
+        engine.propose(make_job("again", num_gpus=1))
+        assert engine.stats.hits == 0
+
+    def test_memo_size_zero_disables(self, minsky):
+        engine = PlacementEngine(minsky, AllocationState(minsky), memo_size=0)
+        engine.propose(make_job("a", num_gpus=2))
+        engine.propose(make_job("b", num_gpus=2))
+        assert engine.stats.hits == 0 and engine.stats.misses == 0
+        assert len(engine._memo) == 0
+
+
+class TestEquivalence:
+    """Memoised and cold engines must agree on every proposal."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(list(ModelType)),
+                st.sampled_from([1, 2, 4, 8]),
+                st.integers(min_value=1, max_value=4),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_memo_vs_cold_propose(self, specs):
+        topo = cluster(2)
+        alloc = AllocationState(topo)
+        warm = PlacementEngine(topo, alloc)
+        cold = PlacementEngine(topo, alloc, memo_size=0)
+        for i, (model, batch, n_gpus) in enumerate(specs):
+            job = make_job(f"j{i}", model=model, batch_size=batch, num_gpus=n_gpus)
+            assert _solution_fields(warm.propose(job)) == _solution_fields(
+                cold.propose(job)
+            )
+        assert warm.stats.lookups == len(specs)
+
+    def test_memo_vs_cold_through_allocation_churn(self, minsky):
+        alloc = AllocationState(minsky)
+        warm = PlacementEngine(minsky, alloc)
+        cold = PlacementEngine(minsky, alloc, memo_size=0)
+        placed = []
+        for i in range(4):
+            job = make_job(f"j{i}", num_gpus=1)
+            a, b = warm.propose(job), cold.propose(job)
+            assert _solution_fields(a) == _solution_fields(b)
+            if a is not None:
+                warm.enforce(a)
+                placed.append(job.job_id)
+        for job_id in placed:
+            alloc.release(job_id)
+            job = make_job(f"after-{job_id}", num_gpus=2)
+            assert _solution_fields(warm.propose(job)) == _solution_fields(
+                cold.propose(job)
+            )

@@ -1,0 +1,74 @@
+"""The capacity quick-skip must still produce a traced no-fit outcome.
+
+Regression test: the single-node fast skip in TopoAwareScheduler used
+to bypass the ``sched.propose`` span entirely, so a trace of a round
+where an oversized job was rejected showed no evidence the job was
+considered at all.
+"""
+
+from __future__ import annotations
+
+from repro.schedulers import make_scheduler
+from repro.schedulers.base import SchedulingContext
+from repro.sim.cluster import ClusterState
+from repro.obs.trace import recording
+from repro.topology.builders import power8_minsky
+
+from tests.conftest import make_job
+
+
+def _ctx(state):
+    return SchedulingContext(
+        topo=state.topo,
+        alloc=state.alloc,
+        engine=state.engine,
+        co_runners={},
+        now=0.0,
+        cluster=state,
+    )
+
+
+def _propose_spans(rec):
+    return [s for s in rec.spans if s.name == "sched.propose"]
+
+
+class TestCapacityPruneTracing:
+    def test_single_node_no_fit_emits_span(self):
+        state = ClusterState(power8_minsky())  # 4 GPUs
+        sched = make_scheduler("TOPO-AWARE")
+        sched.submit(make_job("xl", num_gpus=5, single_node=True))
+        with recording() as rec:
+            placed = sched.schedule(_ctx(state))
+        assert placed == []
+        spans = _propose_spans(rec)
+        assert len(spans) == 1
+        assert spans[0].attrs["job_id"] == "xl"
+        assert spans[0].attrs["outcome"] == "no-fit"
+        assert spans[0].attrs["reason"] == "capacity"
+
+    def test_multi_node_no_fit_emits_span(self):
+        state = ClusterState(power8_minsky())
+        sched = make_scheduler("TOPO-AWARE")
+        sched.submit(make_job("xl", num_gpus=64, single_node=False))
+        with recording() as rec:
+            assert sched.schedule(_ctx(state)) == []
+        (span,) = _propose_spans(rec)
+        assert span.attrs["outcome"] == "no-fit"
+        assert span.attrs["reason"] == "capacity"
+
+    def test_placeable_job_unaffected(self):
+        state = ClusterState(power8_minsky())
+        sched = make_scheduler("TOPO-AWARE")
+        sched.submit(make_job("fits", num_gpus=2))
+        with recording() as rec:
+            placed = sched.schedule(_ctx(state))
+        assert [s.job_id for s in placed] == ["fits"]
+        (span,) = _propose_spans(rec)
+        assert span.attrs["outcome"] == "placed"
+
+    def test_pruned_job_stays_queued(self):
+        state = ClusterState(power8_minsky())
+        sched = make_scheduler("TOPO-AWARE")
+        sched.submit(make_job("xl", num_gpus=5, single_node=True))
+        sched.schedule(_ctx(state))
+        assert sched.queue_length() == 1  # re-queued, not dropped

@@ -1,0 +1,71 @@
+"""Fast-path equivalence: memoised engine vs memo-disabled engine.
+
+Extends the golden-equivalence pins (which compare the current engine
+against committed seed outputs) with a direct A/B proof that the
+placement memo, the GPU distance matrix and the capacity pruning
+change no scheduling decision: a full scenario run with the memo on
+must be record-for-record identical (``==``, no tolerance) to one with
+``memo_size=0``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.bench import RECORD_FIELDS, check_equivalence
+from repro.analysis.scenarios import scenario1_jobs, table1_jobs
+from repro.schedulers import make_scheduler
+from repro.sim.cluster import ClusterState
+from repro.sim.engine import Simulator
+from repro.topology.builders import cluster, power8_minsky
+
+
+def _run(topo_factory, jobs, scheduler_name, memo_size=None):
+    topo = topo_factory()
+    state = ClusterState(topo)
+    if memo_size is not None:
+        state.engine.memo_size = memo_size
+    sim = Simulator(topo, make_scheduler(scheduler_name), list(jobs), cluster=state)
+    return sim.run()
+
+
+def _assert_identical(a, b):
+    assert len(a.records) == len(b.records)
+    for ra, rb in zip(a.records, b.records):
+        assert ra.job.job_id == rb.job.job_id
+        for name in RECORD_FIELDS:
+            assert getattr(ra, name) == getattr(rb, name), (
+                ra.job.job_id,
+                name,
+            )
+
+
+@pytest.mark.parametrize("scheduler_name", ["TOPO-AWARE", "TOPO-AWARE-P"])
+def test_scenario1_memo_on_off_identical(scheduler_name):
+    jobs = scenario1_jobs(100, seed=42)
+    memo = _run(lambda: cluster(5), jobs, scheduler_name)
+    cold = _run(lambda: cluster(5), jobs, scheduler_name, memo_size=0)
+    _assert_identical(memo, cold)
+    assert memo.makespan == cold.makespan
+    assert memo.decision_rounds == cold.decision_rounds
+
+
+@pytest.mark.parametrize("scheduler_name", ["FCFS", "BF", "TOPO-AWARE"])
+def test_table1_memo_on_off_identical(scheduler_name):
+    jobs = table1_jobs()
+    memo = _run(power8_minsky, jobs, scheduler_name)
+    cold = _run(power8_minsky, jobs, scheduler_name, memo_size=0)
+    _assert_identical(memo, cold)
+
+
+def test_check_equivalence_reports_identical():
+    jobs = scenario1_jobs(30, seed=42)
+    verdict = check_equivalence(jobs, 5)
+    assert verdict["identical"] is True
+    assert verdict["scheduler"] == "TOPO-AWARE"
+    assert set(verdict["memo_stats"]) == {
+        "hits",
+        "misses",
+        "invalidations",
+        "hit_rate",
+    }

@@ -1,0 +1,111 @@
+"""Slowdown-metric guards and the ideal-time memo key.
+
+Regression coverage for two bugs: ``total_slowdown`` used to divide by
+an unplaceable record's ideal time of 0.0 (ZeroDivisionError instead
+of a policy decision), and ``ClusterState.ideal_exec_time`` memoized
+on ``(model, batch, gpus)`` only — jobs differing in ``comm_pattern``
+silently shared one ideal even though the performance model prices the
+patterns differently.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.cluster import ClusterState
+from repro.sim.metrics import qos_slowdown, sorted_slowdowns, total_slowdown
+from repro.sim.records import JobRecord
+from repro.topology.builders import power8_minsky
+from repro.workload.job import CommPattern
+
+from tests.conftest import make_job
+
+
+def _finished_record(job_id="ok", ideal=10.0):
+    return JobRecord(
+        job=make_job(job_id),
+        arrival=0.0,
+        placed_at=1.0,
+        finished_at=21.0,
+        ideal_exec_time=ideal,
+    )
+
+
+def _no_ideal_record(job_id="stuck"):
+    # the shape an unplaceable job leaves behind: finished_at set by a
+    # failure-requeue edge case or synthetic analysis, ideal still 0.0
+    return JobRecord(
+        job=make_job(job_id),
+        arrival=0.0,
+        placed_at=1.0,
+        finished_at=21.0,
+        ideal_exec_time=0.0,
+    )
+
+
+class TestUnfinishedPolicies:
+    @pytest.mark.parametrize("fn", [qos_slowdown, total_slowdown])
+    def test_zero_ideal_raises_by_default(self, fn):
+        with pytest.raises(ValueError, match="has no ideal time"):
+            fn(_no_ideal_record())
+
+    @pytest.mark.parametrize("fn", [qos_slowdown, total_slowdown])
+    def test_zero_ideal_skips_to_none(self, fn):
+        assert fn(_no_ideal_record(), unfinished="skip") is None
+
+    @pytest.mark.parametrize("fn", [qos_slowdown, total_slowdown])
+    def test_unfinished_job_policies(self, fn):
+        record = JobRecord(job=make_job(), arrival=0.0, ideal_exec_time=5.0)
+        with pytest.raises(ValueError, match="did not finish"):
+            fn(record)
+        assert fn(record, unfinished="skip") is None
+
+    @pytest.mark.parametrize("fn", [qos_slowdown, total_slowdown])
+    def test_bad_policy_rejected(self, fn):
+        with pytest.raises(ValueError, match="unfinished must be one of"):
+            fn(_finished_record(), unfinished="ignore")
+
+    def test_healthy_record_unaffected(self):
+        record = _finished_record(ideal=10.0)
+        assert qos_slowdown(record) == pytest.approx(1.0)  # 20s vs 10s ideal
+        assert total_slowdown(record) == pytest.approx(1.1)  # 21s from arrival
+
+    def test_sorted_slowdowns_skip_drops_bad_records(self):
+        records = [_finished_record("a"), _no_ideal_record(), _finished_record("b")]
+        vals = sorted_slowdowns(records, include_waiting=True)
+        assert len(vals) == 2
+
+    def test_sorted_slowdowns_raise_surfaces_bad_records(self):
+        records = [_finished_record("a"), _no_ideal_record()]
+        with pytest.raises(ValueError, match="has no ideal time"):
+            sorted_slowdowns(records, unfinished="raise")
+
+
+class TestIdealTimeMemoKey:
+    def test_comm_patterns_get_distinct_ideals(self):
+        topo = power8_minsky()
+        state = ClusterState(topo)
+        ideals = {}
+        for pattern in CommPattern:
+            job = make_job(f"j-{pattern.value}", num_gpus=4, comm_pattern=pattern)
+            ideals[pattern] = state.ideal_exec_time(job)
+            assert ideals[pattern] == state.perf.ideal_exec_time(job)
+        # the model prices the patterns differently; a memo keyed without
+        # comm_pattern would return one value for all three
+        assert len(set(ideals.values())) > 1
+
+    def test_iterations_scale_one_shared_entry(self):
+        topo = power8_minsky()
+        state = ClusterState(topo)
+        short = make_job("short", num_gpus=2, iterations=10)
+        long = make_job("long", num_gpus=2, iterations=1000)
+        t_short = state.ideal_exec_time(short)
+        assert len(state._ideal_cache) == 1
+        t_long = state.ideal_exec_time(long)
+        assert len(state._ideal_cache) == 1  # same per-iteration entry
+        assert t_long == pytest.approx(t_short * 100)
+
+    def test_oversized_job_has_zero_ideal(self):
+        topo = power8_minsky()  # 4 GPUs
+        state = ClusterState(topo)
+        assert state.ideal_exec_time(make_job("xl", num_gpus=64)) == 0.0

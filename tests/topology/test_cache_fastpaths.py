@@ -1,0 +1,184 @@
+"""Cache fast paths must be invisible: warm and cold graphs agree.
+
+Covers the all-pairs GPU distance matrix (and its fallback sentinel),
+the tuple-keyed widest-path cache, validate-before-cache lookups, and
+the AllocationState epoch counter / pool signature / bounded links
+cache that drive placement-memo invalidation.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.topology.allocation as allocation_mod
+import repro.topology.graph as graph_mod
+from repro.topology.allocation import AllocationState
+from repro.topology.builders import cluster, power8_minsky
+from repro.topology.graph import TopologyError
+
+
+@st.composite
+def cluster_shapes(draw):
+    n_machines = draw(st.integers(min_value=1, max_value=4))
+    return n_machines
+
+
+# ----------------------------------------------------------------------
+# GPU distance matrix
+# ----------------------------------------------------------------------
+class TestDistanceMatrix:
+    @settings(max_examples=15, deadline=None)
+    @given(cluster_shapes())
+    def test_matrix_agrees_with_cold_dijkstra(self, n_machines):
+        warm = cluster(n_machines)
+        cold = cluster(n_machines)
+        cold._caches.gpu_index = {}  # force the pre-matrix path
+        gpus = warm.gpus()
+        # prime the matrix via one cross-pair query
+        warm.distance(gpus[0], gpus[-1])
+        for a, b in itertools.combinations(gpus, 2):
+            assert warm.distance(a, b) == cold.distance(a, b)
+
+    @settings(max_examples=15, deadline=None)
+    @given(cluster_shapes(), st.randoms(use_true_random=False))
+    def test_pairwise_sum_agrees_with_cold(self, n_machines, rng):
+        warm = cluster(n_machines)
+        cold = cluster(n_machines)
+        cold._caches.gpu_index = {}
+        gpus = warm.gpus()
+        names = rng.sample(gpus, k=min(len(gpus), 5))
+        assert warm.pairwise_distance_sum(names) == cold.pairwise_distance_sum(
+            names
+        )
+
+    def test_matrix_survives_distance_matrix_query(self):
+        warm = cluster(2)
+        cold = cluster(2)
+        cold._caches.gpu_index = {}
+        w_names, w_mat = warm.distance_matrix()
+        c_names, c_mat = cold.distance_matrix()
+        assert w_names == c_names
+        assert (w_mat == c_mat).all()
+
+    def test_oversized_graph_falls_back(self, monkeypatch):
+        monkeypatch.setattr(graph_mod, "MATRIX_MAX_GPUS", 3)
+        capped = cluster(2)  # 8 GPUs > 3: matrix must disable itself
+        reference = cluster(2)
+        reference._caches.gpu_index = {}
+        gpus = capped.gpus()
+        for a, b in itertools.combinations(gpus, 2):
+            assert capped.distance(a, b) == reference.distance(a, b)
+        assert capped._caches.gpu_index == {}  # fallback sentinel
+
+    def test_same_machine_pairs_stay_on_scoped_path(self, minsky):
+        # the matrix stores unscoped values only; same-machine queries
+        # must keep using the machine-scoped Dijkstra
+        gpus = minsky.gpus()
+        cold = power8_minsky()
+        cold._caches.gpu_index = {}
+        for a, b in itertools.combinations(gpus, 2):
+            assert minsky.distance(a, b) == cold.distance(a, b)
+
+
+# ----------------------------------------------------------------------
+# widest-path and shortest-path caches
+# ----------------------------------------------------------------------
+class TestPathCaches:
+    def test_widest_cache_keys_are_scope_tuples(self):
+        topo = cluster(2)
+        gpus0 = topo.gpus(machine=topo.machines()[0])
+        gpus1 = topo.gpus(machine=topo.machines()[1])
+        # same source, one same-machine query (machine scope) and one
+        # cross-machine query (unscoped): distinct cache entries, no
+        # string-concatenation collision
+        same = topo.bottleneck_bandwidth(gpus0[0], gpus0[1])
+        cross = topo.bottleneck_bandwidth(gpus0[0], gpus1[0])
+        assert same > 0 and cross > 0
+        keys = set(topo._caches.widest)
+        assert all(isinstance(k, tuple) and len(k) == 2 for k in keys)
+        assert (gpus0[0], topo.machines()[0]) in keys
+        assert (gpus0[0], None) in keys
+        # cached answers replay identically
+        assert topo.bottleneck_bandwidth(gpus0[0], gpus0[1]) == same
+        assert topo.bottleneck_bandwidth(gpus0[0], gpus1[0]) == cross
+
+    def test_bottleneck_unknown_node_raises_even_after_warm(self, minsky):
+        gpus = minsky.gpus()
+        minsky.bottleneck_bandwidth(gpus[0], gpus[1])
+        with pytest.raises(TopologyError):
+            minsky.bottleneck_bandwidth(gpus[0], "nope")
+        with pytest.raises(TopologyError):
+            minsky.bottleneck_bandwidth("nope", gpus[0])
+
+    def test_shortest_path_validates_before_cache(self, minsky):
+        gpus = minsky.gpus()
+        path = minsky.shortest_path(gpus[0], gpus[1])
+        assert path[0] == gpus[0] and path[-1] == gpus[1]
+        # a warm (u, v) cache entry must not mask unknown-node errors
+        with pytest.raises(TopologyError):
+            minsky.shortest_path(gpus[0], "ghost")
+        with pytest.raises(TopologyError):
+            minsky.shortest_path("ghost", gpus[1])
+        assert minsky.shortest_path(gpus[0], gpus[1]) == path
+
+
+# ----------------------------------------------------------------------
+# AllocationState epochs, signature, bounded links cache
+# ----------------------------------------------------------------------
+class TestAllocationEpochs:
+    def test_every_mutator_bumps_version(self):
+        topo = cluster(2)
+        alloc = AllocationState(topo)
+        v0 = alloc.version
+        alloc.allocate("j", topo.gpus()[:2])
+        assert alloc.version == v0 + 1
+        alloc.release("j")
+        assert alloc.version == v0 + 2
+        down = topo.machines()[0]
+        alloc.set_machine_down(down)
+        assert alloc.version == v0 + 3
+        alloc.set_machine_up(down)
+        assert alloc.version == v0 + 4
+
+    def test_reads_do_not_bump_version(self):
+        topo = cluster(2)
+        alloc = AllocationState(topo)
+        v0 = alloc.version
+        alloc.free_gpus()
+        alloc.max_free_count()
+        alloc.total_free_count()
+        alloc.free_pool_signature()
+        alloc.links_used(topo.gpus()[:2])
+        assert alloc.version == v0
+
+    def test_signature_tracks_pool_and_health(self):
+        topo = cluster(2)
+        m0, m1 = topo.machines()
+        alloc = AllocationState(topo)
+        sig0 = alloc.free_pool_signature()
+        assert alloc.free_pool_signature() is sig0  # cached per version
+        alloc.allocate("j", topo.gpus(machine=m0)[:2])
+        sig1 = alloc.free_pool_signature()
+        assert sig1 != sig0
+        counts = dict(sig1[0])
+        assert counts[m0] == 2 and counts[m1] == 4
+        alloc.set_machine_down(m1)
+        sig2 = alloc.free_pool_signature()
+        assert m1 in sig2[1]
+        assert alloc.total_free_count() == 2  # down machine excluded
+
+    def test_links_cache_is_bounded(self, monkeypatch):
+        monkeypatch.setattr(allocation_mod, "LINKS_CACHE_MAX", 4)
+        topo = cluster(2)
+        alloc = AllocationState(topo)
+        gpus = topo.gpus()
+        for i in range(len(gpus)):
+            for j in range(i + 1, len(gpus)):
+                alloc.links_used([gpus[i], gpus[j]])
+        assert len(alloc._links_cache) <= 4
+        # evicted entries recompute to the same answer
+        expected = AllocationState(topo).links_used(gpus[:2])
+        assert alloc.links_used(gpus[:2]) == expected
