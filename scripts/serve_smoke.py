@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""CI smoke check: the live introspection server end to end.
+
+Launches ``repro simulate --serve 0 --serve-linger N --watchdog`` as a
+subprocess, scrapes the advertised URL while the server lingers, and
+validates every endpoint:
+
+* ``/metrics``   parses under the strict Prometheus parser and carries
+  the lifecycle counter families;
+* ``/healthz``   is JSON with ``status: ok`` and a sane phase;
+* ``/state``     is a schema-1 snapshot whose makespan matches a
+  finished run;
+* ``/alerts``    is JSON with the default watchdog rules attached;
+* an unknown route answers 404.
+
+Then waits for the subprocess and requires a clean exit 0 (server
+shutdown must not hang or crash the CLI).  Budget: well under 30 s.
+
+Run:  PYTHONPATH=src python scripts/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+sys.path.insert(0, "src")
+
+from repro.obs import parse_prometheus  # noqa: E402
+
+LISTEN_RE = re.compile(r"introspection server listening on (http://\S+)")
+LINGER_S = 10.0
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def get(url: str) -> tuple[int, str]:
+    with urllib.request.urlopen(url, timeout=5) as resp:
+        return resp.status, resp.read().decode("utf-8")
+
+
+def main() -> None:
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "simulate",
+         "--scheduler", "topo-aware-p", "--jobs", "20", "--machines", "2",
+         "--seed", "42", "--serve", "0", "--serve-linger", str(LINGER_S),
+         "--watchdog"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=dict(os.environ, PYTHONPATH="src"),
+    )
+    try:
+        # the listen line is printed before the run starts
+        url = None
+        deadline = time.time() + 30
+        assert proc.stdout is not None
+        first_lines = []
+        while time.time() < deadline:
+            line = proc.stdout.readline()
+            if not line:
+                break
+            first_lines.append(line)
+            match = LISTEN_RE.search(line)
+            if match:
+                url = match.group(1)
+                break
+        if url is None:
+            fail(f"no listen line in output: {first_lines!r}")
+
+        # -- /metrics --------------------------------------------------
+        status, body = get(url + "/metrics")
+        if status != 200:
+            fail(f"/metrics answered {status}")
+        families = parse_prometheus(body)
+        for name in ("repro_jobs_arrived_total", "repro_queue_depth"):
+            if name not in families:
+                fail(f"/metrics missing family {name}")
+
+        # -- /healthz --------------------------------------------------
+        status, body = get(url + "/healthz")
+        health = json.loads(body)
+        if status != 200 or health.get("status") != "ok":
+            fail(f"/healthz unhealthy: {body}")
+        if health.get("phase") not in ("idle", "running", "finished"):
+            fail(f"/healthz odd phase: {health.get('phase')!r}")
+
+        # -- /state ----------------------------------------------------
+        status, body = get(url + "/state")
+        state = json.loads(body)
+        if status != 200 or state.get("schema") != 1:
+            fail(f"/state not a schema-1 snapshot: {body[:200]}")
+        if state.get("total_gpus", 0) <= 0:
+            fail(f"/state total_gpus: {state.get('total_gpus')!r}")
+
+        # -- /alerts ---------------------------------------------------
+        status, body = get(url + "/alerts")
+        alerts = json.loads(body)
+        if status != 200 or alerts.get("enabled") is not True:
+            fail(f"/alerts not enabled: {body[:200]}")
+        if "queue-wait-p95-high" not in alerts.get("rules", []):
+            fail(f"/alerts default rules missing: {alerts.get('rules')!r}")
+
+        # -- unknown route ---------------------------------------------
+        try:
+            get(url + "/nope")
+            fail("unknown route did not 404")
+        except urllib.error.HTTPError as err:
+            if err.code != 404:
+                fail(f"unknown route answered {err.code}")
+
+        # -- clean shutdown --------------------------------------------
+        out, err = proc.communicate(timeout=LINGER_S + 30)
+        if proc.returncode != 0:
+            fail(f"simulate exited {proc.returncode}: {err[-500:]}")
+        tail = "".join(first_lines) + out
+        if "makespan_s" not in tail:
+            fail("run summary missing from output")
+        if "slo_alerts_fired" not in tail:
+            fail("watchdog digest missing from output")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+    print(
+        f"serve smoke OK: {len(families)} metric families scraped live, "
+        f"phase {health['phase']!r}, {len(alerts['rules'])} watchdog rules, "
+        "clean shutdown"
+    )
+
+
+if __name__ == "__main__":
+    main()

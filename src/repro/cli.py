@@ -8,13 +8,19 @@ Subcommands::
     repro topo --machine NAME [--matrix | --numactl]
     repro figures [--out DIR]                      # regenerate evaluation
     repro trace summarize TRACE.jsonl [--job ID]   # decision timelines
+    repro trace export TRACE.jsonl [--out F]       # Perfetto/Chrome JSON
+    repro trace profile TRACE.jsonl [--top N]      # per-phase profiler
 
 ``simulate`` and ``compare`` accept telemetry sinks —
 ``--metrics-out`` (Prometheus text, or JSON with a ``.json`` suffix),
 ``--events-out`` (schema-versioned JSONL lifecycle events) and
 ``--trace-out`` (JSONL decision spans, fed to ``repro trace
-summarize``).  Telemetry is tap-only: results are bit-identical with
-or without the flags.
+summarize``) — plus the live operational layer: ``--serve PORT``
+starts the introspection endpoint (``/metrics``, ``/healthz``,
+``/state``, ``/alerts``) for the duration of the run, and
+``--watchdog`` / ``--slo-rules FILE`` attach the SLO watchdog.
+Telemetry is tap-only: results are bit-identical with or without any
+of these flags (pinned by the fast-path A/B equivalence tests).
 
 Everything is also available as a library; the CLI is a thin veneer
 over :mod:`repro.prototype`, :mod:`repro.sim`, :mod:`repro.obs` and
@@ -79,6 +85,20 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="write the structured JSONL event log")
         p.add_argument("--trace-out", type=Path, default=None, metavar="FILE",
                        help="record decision-path spans to a JSONL trace")
+        p.add_argument("--serve", type=int, default=None, metavar="PORT",
+                       help="serve live introspection endpoints "
+                       "(/metrics /healthz /state /alerts) on this port "
+                       "(0 picks a free port)")
+        p.add_argument("--serve-linger", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="keep the introspection server up this long "
+                       "after the run finishes (scrape window)")
+        p.add_argument("--watchdog", action="store_true",
+                       help="evaluate the default SLO watchdog rules at "
+                       "every decision round")
+        p.add_argument("--slo-rules", type=Path, default=None, metavar="FILE",
+                       help="JSON/TOML watchdog rule file (implies "
+                       "--watchdog)")
         if name == "simulate":
             p.add_argument("--scheduler", choices=SCHEDULER_CHOICES,
                            type=lambda s: s.upper(), default="TOPO-AWARE-P")
@@ -139,6 +159,29 @@ def _build_parser() -> argparse.ArgumentParser:
                                  help="JSONL trace written by --trace-out")
     trace_summarize.add_argument("--job", default=None,
                                  help="only this job id")
+    trace_export = trace_sub.add_parser(
+        "export",
+        help="convert a trace for Perfetto / chrome://tracing",
+    )
+    trace_export.add_argument("trace_file", type=Path,
+                              help="JSONL trace written by --trace-out")
+    trace_export.add_argument("--format", choices=("chrome",),
+                              default="chrome",
+                              help="output format (Chrome Trace Event JSON)")
+    trace_export.add_argument("--out", type=Path, default=None, metavar="FILE",
+                              help="output file (default: input with a "
+                              ".chrome.json suffix)")
+    trace_profile = trace_sub.add_parser(
+        "profile",
+        help="per-phase self/total times, critical paths, slowest rounds",
+    )
+    trace_profile.add_argument("trace_file", type=Path,
+                               help="JSONL trace written by --trace-out")
+    trace_profile.add_argument("--top", type=int, default=10,
+                               help="rows in the slowest-rounds/heaviest-jobs "
+                               "tables")
+    trace_profile.add_argument("--job", default=None,
+                               help="restrict round details to this job id")
     return parser
 
 
@@ -188,13 +231,19 @@ def _cmd_run(args) -> int:
 
 
 class _TelemetrySinks:
-    """CLI-side lifecycle for the --metrics/--events/--trace-out flags.
+    """CLI-side lifecycle for the telemetry and operational flags.
 
     Builds one shared registry/event log, hands out per-policy
-    :class:`TelemetryObserver` taps, activates span recording only when
-    a trace sink was requested, and flushes every requested file once
-    the runs finish.  With no flags set it stays completely inert (no
-    observers attached, tracing disabled).
+    :class:`TelemetryObserver` / :class:`Watchdog` / snapshot taps,
+    activates span recording only when a trace sink was requested,
+    starts the ``--serve`` introspection server for the duration of
+    the run, and flushes every requested file once the runs finish.
+    With no flags set it stays completely inert (no observers
+    attached, tracing disabled, no sockets opened).
+
+    Raises :class:`ValueError` from the constructor when ``--slo-rules``
+    names a missing or invalid file (the commands turn that into a
+    one-line error and exit code 2).
     """
 
     def __init__(self, args) -> None:
@@ -204,13 +253,44 @@ class _TelemetrySinks:
         self.metrics_out = args.metrics_out
         self.events_out = args.events_out
         self.trace_out = args.trace_out
-        self.enabled = any((self.metrics_out, self.events_out, self.trace_out))
+        self.serve_port = args.serve
+        self.serve_linger = args.serve_linger
+        self.watchdog_enabled = bool(
+            args.watchdog or args.slo_rules is not None or args.serve is not None
+        )
+        self.enabled = (
+            any((self.metrics_out, self.events_out, self.trace_out))
+            or self.watchdog_enabled
+            or self.serve_port is not None
+        )
         self.registry = MetricsRegistry()
         self.event_log = EventLog()
         self.recorder = (
             trace_mod.SpanRecorder() if self.trace_out is not None else None
         )
         self._trace_mod = trace_mod
+        self.rules = None
+        if self.watchdog_enabled:
+            from repro.obs.alerts import DEFAULT_RULES, load_rules
+
+            if args.slo_rules is not None:
+                try:
+                    self.rules = load_rules(args.slo_rules)
+                except (OSError, ValueError) as exc:
+                    raise ValueError(f"--slo-rules: {exc}") from None
+            else:
+                self.rules = DEFAULT_RULES
+        self.publisher = None
+        self.server = None
+        if self.serve_port is not None:
+            from repro.obs.server import IntrospectionServer
+            from repro.obs.state import SnapshotPublisher
+
+            self.publisher = SnapshotPublisher()
+            self.server = IntrospectionServer(
+                self.publisher, self.registry, port=self.serve_port
+            )
+        self.watchdogs: dict[str, object] = {}
 
     def observers(self, scheduler: str, total_gpus: int, n_jobs: int) -> tuple:
         if not self.enabled:
@@ -224,16 +304,59 @@ class _TelemetrySinks:
             total_gpus=total_gpus,
         )
         observer.run_start(n_jobs)
-        return (observer,)
+        taps: list = [observer]
+        if self.watchdog_enabled:
+            from repro.obs.alerts import Watchdog
+
+            # after the telemetry observer, so registry-derived signals
+            # are fresh when rules evaluate at each round boundary
+            watchdog = Watchdog(
+                self.registry,
+                self.event_log,
+                self.rules,
+                scheduler=scheduler,
+            )
+            self.watchdogs[scheduler] = watchdog
+            if self.server is not None:
+                # /alerts follows the policy currently running
+                self.server.watchdog = watchdog
+            taps.append(watchdog)
+        if self.publisher is not None:
+            from repro.obs.state import SnapshotObserver
+
+            taps.append(
+                SnapshotObserver(
+                    self.publisher,
+                    scheduler=scheduler,
+                    total_gpus=total_gpus,
+                )
+            )
+        return tuple(taps)
 
     def __enter__(self):
         if self.recorder is not None:
             self._trace_mod.install(self.recorder)
+        if self.server is not None:
+            self.server.start()
+            print(
+                f"introspection server listening on {self.server.url} "
+                "(endpoints: /metrics /healthz /state /alerts)"
+            )
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         if self.recorder is not None:
             self._trace_mod.install(None)
+        if self.server is not None:
+            if exc_type is None and self.serve_linger > 0:
+                import time
+
+                print(
+                    f"introspection server lingering "
+                    f"{self.serve_linger:g}s before shutdown"
+                )
+                time.sleep(self.serve_linger)
+            self.server.stop()
         return False
 
     def flush(self) -> None:
@@ -251,6 +374,37 @@ class _TelemetrySinks:
                 f"{len(self.recorder.spans)} spans written to {self.trace_out}"
             )
 
+    # ------------------------------------------------------------------
+    # end-of-run operational summaries
+    # ------------------------------------------------------------------
+    def wait_quantiles(self, scheduler: str) -> dict[str, float] | None:
+        """p50/p95/p99 of the queue-wait histogram for one policy."""
+        if not self.enabled or "repro_job_waiting_seconds" not in self.registry:
+            return None
+        hist = self.registry.get("repro_job_waiting_seconds")
+        if hist.count(scheduler=scheduler) == 0:
+            return None
+        return {
+            f"queue_wait_p{int(q * 100)}_s": hist.quantile(q, scheduler=scheduler)
+            for q in (0.5, 0.95, 0.99)
+        }
+
+    def alert_lines(self, result) -> list[str]:
+        """Printable end-of-run digest of the watchdog's firings."""
+        if not self.watchdog_enabled:
+            return []
+        lines = [f"{'slo_alerts_fired':>22}: {len(result.alerts)}"]
+        for alert in result.alerts:
+            value = alert["value"]
+            shown = f"{value:.4g}" if isinstance(value, (int, float)) else "n/a"
+            lines.append(
+                f"  ALERT [{alert['severity']}] {alert['rule']}: "
+                f"{alert['signal']} {alert['op']} {alert['threshold']:g} "
+                f"(value {shown}) at t={alert['t']:.1f}s "
+                f"round {alert['round']}"
+            )
+        return lines
+
 
 def _cmd_simulate(args) -> int:
     from repro.analysis.gantt import GanttObserver
@@ -262,7 +416,11 @@ def _cmd_simulate(args) -> int:
     jobs = _generate(args)
     gantt = GanttObserver(args.scheduler)
     utilization = UtilizationObserver(total_gpus=len(topo.gpus()))
-    sinks = _TelemetrySinks(args)
+    try:
+        sinks = _TelemetrySinks(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     telemetry = sinks.observers(args.scheduler, len(topo.gpus()), len(jobs))
     with sinks:
         result = run_with_observers(
@@ -271,15 +429,19 @@ def _cmd_simulate(args) -> int:
             jobs,
             observers=(gantt, utilization, *telemetry),
         )
-    for observer in telemetry:
-        observer.run_end(result)
-    for key, value in summarize(result).items():
-        print(f"{key:>22}: {value}")
-    print(f"{'avg_utilization':>22}: {utilization.average():.3f}")
-    if args.gantt:
-        print()
-        print(gantt.chart())
-    sinks.flush()
+        for key, value in summarize(result).items():
+            print(f"{key:>22}: {value}")
+        print(f"{'avg_utilization':>22}: {utilization.average():.3f}")
+        quantiles = sinks.wait_quantiles(args.scheduler)
+        if quantiles is not None:
+            for key, value in quantiles.items():
+                print(f"{key:>22}: {value:.1f}")
+        for line in sinks.alert_lines(result):
+            print(line)
+        if args.gantt:
+            print()
+            print(gantt.chart())
+        sinks.flush()
     return 0
 
 
@@ -291,13 +453,15 @@ def _cmd_compare(args) -> int:
     topo_factory = _topology_factory(args)
     total_gpus = len(topo_factory().gpus())
     jobs = _generate(args)
-    sinks = _TelemetrySinks(args)
+    try:
+        sinks = _TelemetrySinks(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     gantts: dict[str, GanttObserver] = {}
-    telemetry: dict[str, tuple] = {}
 
     def observer_factory(name: str):
-        telemetry[name] = sinks.observers(name, total_gpus, len(jobs))
-        observers = list(telemetry[name])
+        observers = list(sinks.observers(name, total_gpus, len(jobs)))
         if args.gantt:
             gantts[name] = GanttObserver(name)
             observers.append(gantts[name])
@@ -307,23 +471,52 @@ def _cmd_compare(args) -> int:
         results = run_comparison(
             topo_factory, jobs, observer_factory=observer_factory
         )
-    for name, result in results.items():
-        for observer in telemetry.get(name, ()):
-            observer.run_end(result)
-    print(comparison_table(list(results.values())))
-    if args.gantt:
-        print()
-        print(comparison_charts(gantts))
-    sinks.flush()
+        print(comparison_table(list(results.values())))
+        if sinks.watchdog_enabled:
+            for name, result in results.items():
+                for line in sinks.alert_lines(result):
+                    print(f"[{name}] {line.strip()}")
+        if args.gantt:
+            print()
+            print(comparison_charts(gantts))
+        sinks.flush()
     return 0
 
 
 def _cmd_trace(args) -> int:
-    from repro.obs import read_trace, summarize as summarize_trace
+    from repro.obs import read_trace
 
-    # only one trace subcommand exists today; argparse enforces it
-    spans = read_trace(args.trace_file)
-    print(summarize_trace(spans, job_id=args.job))
+    try:
+        spans = read_trace(args.trace_file)
+    except (OSError, ValueError) as exc:
+        # missing file or schema violation: one line, exit 2, no traceback
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.trace_command == "summarize":
+        from repro.obs import summarize as summarize_trace
+
+        print(summarize_trace(spans, job_id=args.job))
+    elif args.trace_command == "export":
+        from repro.obs.profile import write_chrome_trace
+
+        out = args.out
+        if out is None:
+            out = args.trace_file.with_suffix(".chrome.json")
+        try:
+            write_chrome_trace(spans, out)
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"{len(spans)} spans exported to {out} "
+            "(open in https://ui.perfetto.dev or chrome://tracing)"
+        )
+    else:  # profile
+        from repro.obs.profile import format_profile, profile_spans
+
+        profile = profile_spans(spans, job_id=args.job)
+        print(format_profile(profile, top=args.top))
     return 0
 
 

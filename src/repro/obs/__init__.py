@@ -13,7 +13,14 @@ the evaluation used to recover post-hoc from ``JobRecord`` lists:
 * :mod:`repro.obs.trace` — span tracer with no-op-by-default trace
   points inside the DRB/FM/utility hot path;
 * :mod:`repro.obs.telemetry` — :class:`TelemetryObserver`, the bridge
-  from simulation hooks into the registry and event log.
+  from simulation hooks into the registry and event log;
+* :mod:`repro.obs.state` — atomically-published immutable
+  :class:`RunSnapshot` of the live run;
+* :mod:`repro.obs.server` — the ``--serve`` introspection endpoint
+  (``/metrics``, ``/healthz``, ``/state``, ``/alerts``);
+* :mod:`repro.obs.profile` — Chrome Trace Event (Perfetto) export and
+  the per-phase/critical-path profiler;
+* :mod:`repro.obs.alerts` — the declarative SLO watchdog.
 
 Everything here is tap-only: attaching telemetry must never change
 simulation results (enforced by the golden-equivalence tests) and the
@@ -44,6 +51,15 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.profile import (
+    PhaseStats,
+    RoundProfile,
+    TraceProfile,
+    format_profile,
+    profile_spans,
+    to_chrome_trace,
+    write_chrome_trace,
+)
 from repro.obs.trace import (
     NULL_SPAN,
     TRACE_SCHEMA_VERSION,
@@ -58,19 +74,32 @@ from repro.obs.trace import (
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "DEFAULT_RULES",
     "EVENT_TYPES",
     "EventLog",
     "Gauge",
     "Histogram",
+    "IntrospectionServer",
     "MetricsRegistry",
     "NULL_SPAN",
+    "PhaseStats",
+    "RoundProfile",
+    "Rule",
+    "RunSnapshot",
     "SCHEMA_VERSION",
+    "SnapshotObserver",
+    "SnapshotPublisher",
     "SpanRecorder",
     "TRACE_SCHEMA_VERSION",
     "TelemetryObserver",
+    "TraceProfile",
+    "Watchdog",
+    "format_profile",
     "install",
     "iter_events",
+    "load_rules",
     "parse_prometheus",
+    "profile_spans",
     "read_events",
     "read_trace",
     "recording",
@@ -79,19 +108,35 @@ __all__ = [
     "sample_value",
     "span",
     "summarize",
+    "to_chrome_trace",
     "validate_event",
     "validate_events",
+    "write_chrome_trace",
     "write_metrics",
 ]
 
+#: lazily-resolved names -> home module.  These all pull in
+#: repro.sim.hooks, whose import chain reaches back into repro.core.*
+#: — the very modules that import this package for their trace points.
+#: Loading them lazily keeps the hot-path import (repro.obs.trace)
+#: cycle-free.
+_LAZY = {
+    "TelemetryObserver": "repro.obs.telemetry",
+    "SnapshotObserver": "repro.obs.state",
+    "SnapshotPublisher": "repro.obs.state",
+    "RunSnapshot": "repro.obs.state",
+    "IntrospectionServer": "repro.obs.server",
+    "Watchdog": "repro.obs.alerts",
+    "Rule": "repro.obs.alerts",
+    "DEFAULT_RULES": "repro.obs.alerts",
+    "load_rules": "repro.obs.alerts",
+}
+
 
 def __getattr__(name: str):
-    # TelemetryObserver pulls in repro.sim.hooks, whose import chain
-    # reaches back into repro.core.* — the very modules that import
-    # this package for their trace points.  Loading it lazily keeps
-    # the hot-path import (repro.obs.trace) cycle-free.
-    if name == "TelemetryObserver":
-        from repro.obs.telemetry import TelemetryObserver
+    home = _LAZY.get(name)
+    if home is not None:
+        import importlib
 
-        return TelemetryObserver
+        return getattr(importlib.import_module(home), name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

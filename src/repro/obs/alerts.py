@@ -1,0 +1,445 @@
+"""SLO watchdog: declarative alert rules over the live telemetry.
+
+Production schedulers page operators on queue-wait and fragmentation
+regressions instead of waiting for post-mortem log analysis.  The
+:class:`Watchdog` is a :class:`~repro.sim.hooks.SimObserver` that
+evaluates a set of :class:`Rule` objects at every decision-round
+boundary — the cadence Algorithm 1 already wakes the scheduler on —
+against *signals* derived from the shared
+:class:`~repro.obs.metrics.MetricsRegistry` and the hook stream
+itself:
+
+======================  ====================================================
+signal                  meaning
+======================  ====================================================
+queue_depth             jobs waiting after the round
+queue_wait_p95          p95 of arrival→placement delay (sim seconds,
+                        bucket-interpolated via ``Histogram.quantile``)
+utilization             allocated fraction of all cluster GPUs
+cache_hit_rate          placement-memo hit rate (nan before any proposal)
+starved_rounds          consecutive rounds with a non-empty queue and no
+                        placements (no-fit / capacity-outcome storms)
+postponements_total     TOPO-AWARE-P postponement count so far
+requeues_total          failure-victim resubmissions so far
+running_jobs            jobs currently executing
+======================  ====================================================
+
+A rule fires once its condition has held for ``for_rounds``
+consecutive rounds (edge-triggered: it must clear before it can fire
+again) and emits a schema-versioned ``alert`` event into the event
+log, increments ``repro_alerts_fired_total{scheduler,rule}``, and is
+collected into the end-of-run summary the runner attaches to
+:attr:`SimulationResult.alerts`.
+
+Signals are all derived from *simulation* state (sim time, sim-time
+waits), never wall clock, so a rule that fires in a scenario fires
+deterministically every run.  The watchdog is tap-only: attaching it
+never changes scheduling decisions (pinned by the fast-path A/B
+equivalence test).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import operator
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.obs.events import EventLog
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.sim.hooks import BaseObserver
+
+#: signal names rules may reference (validated at load time)
+SIGNALS = (
+    "queue_depth",
+    "queue_wait_p95",
+    "utilization",
+    "cache_hit_rate",
+    "starved_rounds",
+    "postponements_total",
+    "requeues_total",
+    "running_jobs",
+)
+
+_OPS = {
+    ">": operator.gt,
+    ">=": operator.ge,
+    "<": operator.lt,
+    "<=": operator.le,
+}
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One declarative SLO rule: ``signal op threshold`` sustained."""
+
+    name: str
+    signal: str
+    op: str
+    threshold: float
+    for_rounds: int = 1
+    severity: str = "warning"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.signal not in SIGNALS:
+            raise ValueError(
+                f"rule {self.name!r}: unknown signal {self.signal!r} "
+                f"(known: {', '.join(SIGNALS)})"
+            )
+        if self.op not in _OPS:
+            raise ValueError(
+                f"rule {self.name!r}: unknown operator {self.op!r} "
+                f"(known: {', '.join(_OPS)})"
+            )
+        if self.for_rounds < 1:
+            raise ValueError(f"rule {self.name!r}: for_rounds must be >= 1")
+
+    def violated(self, value: float) -> bool:
+        # nan compares false under every operator: "no data" never pages
+        return _OPS[self.op](value, self.threshold)
+
+
+#: conservative defaults: silent on the paper's Scenario 1 workload,
+#: loud on genuine regressions (saturated queues, dead clusters,
+#: placement storms).  Thresholds are simulation-scale quantities.
+DEFAULT_RULES: tuple[Rule, ...] = (
+    Rule(
+        name="queue-wait-p95-high",
+        signal="queue_wait_p95",
+        op=">",
+        threshold=3600.0,
+        for_rounds=5,
+        severity="critical",
+        description="p95 arrival->placement delay above one hour",
+    ),
+    Rule(
+        name="utilization-collapse",
+        signal="utilization",
+        op="<",
+        threshold=0.02,
+        for_rounds=25,
+        severity="critical",
+        description="cluster essentially idle while work exists",
+    ),
+    Rule(
+        name="placement-cache-degraded",
+        signal="cache_hit_rate",
+        op="<",
+        threshold=0.01,
+        # steady-state churn (Scenario 1) legitimately invalidates the
+        # memo every round, so only a *long* zero-hit regime is a signal
+        for_rounds=1000,
+        severity="warning",
+        description="placement memo no longer absorbing proposals",
+    ),
+    Rule(
+        name="no-fit-storm",
+        signal="starved_rounds",
+        op=">=",
+        threshold=50.0,
+        for_rounds=1,
+        severity="warning",
+        description="many consecutive rounds placed nothing with jobs waiting",
+    ),
+    Rule(
+        name="postponement-pileup",
+        signal="postponements_total",
+        op=">=",
+        threshold=250.0,
+        for_rounds=1,
+        severity="warning",
+        description="TOPO-AWARE-P deferrals piling up",
+    ),
+)
+
+
+def load_rules(path: Path | str) -> tuple[Rule, ...]:
+    """Load rules from a JSON or TOML file.
+
+    Both formats share one shape: a top-level ``rules`` array of
+    objects with the :class:`Rule` fields.  TOML needs the stdlib
+    ``tomllib`` (Python >= 3.11); on older interpreters a ``.toml``
+    file is a clear error rather than a silent fallback.
+    """
+    path = Path(path)
+    text = path.read_text()
+    if path.suffix == ".toml":
+        try:
+            import tomllib
+        except ImportError as exc:  # pragma: no cover - py<3.11 only
+            raise ValueError(
+                f"{path}: TOML rules need Python >= 3.11 (no tomllib); "
+                "use the JSON format instead"
+            ) from exc
+        try:
+            doc = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise ValueError(f"{path}: not TOML: {exc}") from None
+    else:
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: not JSON: {exc}") from None
+    if not isinstance(doc, dict) or not isinstance(doc.get("rules"), list):
+        raise ValueError(f"{path}: expected a top-level 'rules' array")
+    rules = []
+    for i, raw in enumerate(doc["rules"]):
+        if not isinstance(raw, dict):
+            raise ValueError(f"{path}: rules[{i}] is not an object")
+        unknown = set(raw) - {
+            "name", "signal", "op", "threshold", "for_rounds",
+            "severity", "description",
+        }
+        if unknown:
+            raise ValueError(
+                f"{path}: rules[{i}] has unknown fields {sorted(unknown)}"
+            )
+        try:
+            rules.append(Rule(**raw))
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"{path}: rules[{i}]: {exc}") from None
+    if not rules:
+        raise ValueError(f"{path}: 'rules' array is empty")
+    return tuple(rules)
+
+
+@dataclass
+class _RuleState:
+    """Mutable evaluation state for one rule."""
+
+    violating_rounds: int = 0
+    active: bool = False
+    fired_count: int = 0
+
+
+class Watchdog(BaseObserver):
+    """Evaluate SLO rules at decision-round boundaries.
+
+    Shares the :class:`MetricsRegistry` with the
+    :class:`~repro.obs.telemetry.TelemetryObserver` (attach the
+    telemetry observer *first* so gauges are fresh when rules run —
+    the CLI wiring guarantees this) and optionally emits ``alert``
+    events into the shared :class:`EventLog`.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        event_log: EventLog | None = None,
+        rules: Sequence[Rule] = DEFAULT_RULES,
+        *,
+        scheduler: str = "",
+    ) -> None:
+        self.registry = registry
+        self.events = event_log
+        self.rules = tuple(rules)
+        names = [r.name for r in self.rules]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate rule names: {names}")
+        self.scheduler = scheduler
+        self.fired: list[dict] = []
+        self._state = {rule.name: _RuleState() for rule in self.rules}
+        self._rounds = 0
+        self._starved_rounds = 0
+        self._postponements: dict[str, int] = {}
+        self._postponements_total = 0
+        self._requeues = 0
+        self._cluster = None
+        self._total_gpus = 0
+        # p95 is only recomputed after a placement lands in the waiting
+        # histogram; between placements the cached value is exact
+        self._wait_p95_cache = math.nan
+        self._waits_dirty = True
+        #: immutable dict swapped whole on fire/resolve transitions;
+        #: the introspection server's /alerts endpoint reads it lock-free
+        self._published: dict = self._publish()
+        self._fired_counter = (
+            registry.counter(
+                "repro_alerts_fired_total",
+                "SLO watchdog rule activations.",
+                ("scheduler", "rule"),
+            )
+            if registry is not None
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    def bind_simulation(self, sim) -> None:
+        """Runner wiring: read cluster-derived signals directly."""
+        self._cluster = sim.cluster
+        self._total_gpus = len(sim.topo.gpus())
+        if not self.scheduler:
+            self.scheduler = sim.scheduler.name
+        self._published = self._publish()  # pick up the scheduler name
+
+    # ------------------------------------------------------------------
+    # signal derivation
+    # ------------------------------------------------------------------
+    def _registry_value(self, name: str, default: float = math.nan) -> float:
+        if self.registry is None or name not in self.registry:
+            return default
+        instrument = self.registry.get(name)
+        try:
+            return instrument.value(scheduler=self.scheduler)
+        except (AttributeError, ValueError):
+            return default
+
+    def _wait_p95(self) -> float:
+        if not self._waits_dirty:
+            return self._wait_p95_cache
+        self._waits_dirty = False
+        self._wait_p95_cache = math.nan
+        if self.registry is None or "repro_job_waiting_seconds" not in self.registry:
+            return math.nan
+        hist = self.registry.get("repro_job_waiting_seconds")
+        if not isinstance(hist, Histogram):
+            return math.nan
+        try:
+            self._wait_p95_cache = hist.quantile(0.95, scheduler=self.scheduler)
+        except ValueError:
+            pass
+        return self._wait_p95_cache
+
+    def signals(self, queued: int) -> dict[str, float]:
+        """All rule-visible signals at the current round boundary."""
+        if self._cluster is not None:
+            stats = self._cluster.engine.stats
+            proposals = stats.hits + stats.misses
+            hit_rate = stats.hit_rate if proposals else math.nan
+            busy = sum(len(r.gpus) for r in self._cluster.running.values())
+            total = self._total_gpus
+            utilization = busy / total if total else math.nan
+            running = float(len(self._cluster.running))
+        else:
+            hit_rate = self._registry_value("repro_placement_cache_hit_rate")
+            utilization = self._registry_value("repro_gpu_utilization")
+            running = self._registry_value("repro_running_jobs", 0.0)
+        return {
+            "queue_depth": float(queued),
+            "queue_wait_p95": self._wait_p95(),
+            "utilization": utilization,
+            "cache_hit_rate": hit_rate,
+            "starved_rounds": float(self._starved_rounds),
+            "postponements_total": float(self._postponements_total),
+            "requeues_total": float(self._requeues),
+            "running_jobs": running,
+        }
+
+    # ------------------------------------------------------------------
+    # SimObserver hooks
+    # ------------------------------------------------------------------
+    def on_place(self, t, job, solution, solo_exec_time, postponements):
+        self._waits_dirty = True
+        if postponements:
+            seen = self._postponements.get(job.job_id, 0)
+            self._postponements_total += postponements - seen
+            self._postponements[job.job_id] = postponements
+
+    def on_requeue(self, t, job):
+        self._requeues += 1
+
+    def on_decision_round(self, t, placed, queued, elapsed_s):
+        self._rounds += 1
+        if queued > 0 and not placed:
+            self._starved_rounds += 1
+        else:
+            self._starved_rounds = 0
+        signals = self.signals(queued)
+        for rule in self.rules:
+            state = self._state[rule.name]
+            value = signals[rule.signal]
+            if rule.violated(value):
+                state.violating_rounds += 1
+                if not state.active and state.violating_rounds >= rule.for_rounds:
+                    state.active = True
+                    state.fired_count += 1
+                    self._fire(rule, value, t)
+            else:
+                was_active = state.active
+                state.violating_rounds = 0
+                state.active = False
+                if was_active:
+                    self._resolve(rule, value, t)
+
+    # ------------------------------------------------------------------
+    # alert lifecycle
+    # ------------------------------------------------------------------
+    def _alert_doc(self, rule: Rule, value: float, t: float, state: str) -> dict:
+        return {
+            "rule": rule.name,
+            "signal": rule.signal,
+            "op": rule.op,
+            "value": value if not math.isnan(value) else None,
+            "threshold": rule.threshold,
+            "severity": rule.severity,
+            "state": state,
+            "t": t,
+            "round": self._rounds,
+            "description": rule.description,
+        }
+
+    def _fire(self, rule: Rule, value: float, t: float) -> None:
+        doc = self._alert_doc(rule, value, t, "firing")
+        self.fired.append(doc)
+        if self._fired_counter is not None:
+            self._fired_counter.inc(scheduler=self.scheduler, rule=rule.name)
+        self._emit(doc)
+        self._published = self._publish()
+
+    def _resolve(self, rule: Rule, value: float, t: float) -> None:
+        self._emit(self._alert_doc(rule, value, t, "resolved"))
+        self._published = self._publish()
+
+    def _emit(self, doc: dict) -> None:
+        if self.events is not None:
+            fields = {k: v for k, v in doc.items() if k != "t"}
+            self.events.emit("alert", doc["t"], scheduler=self.scheduler,
+                             **fields)
+
+    # ------------------------------------------------------------------
+    # read-side surfaces
+    # ------------------------------------------------------------------
+    def _publish(self) -> dict:
+        # rebuilt only on fire/resolve transitions (rare), never on the
+        # per-round hot path; rounds_evaluated is merged at read time
+        return {
+            "enabled": True,
+            "scheduler": self.scheduler,
+            "rules": [rule.name for rule in self.rules],
+            "active": [
+                name for name, st in self._state.items() if st.active
+            ],
+            "fired_total": len(self.fired),
+            "fired": list(self.fired[-20:]),
+        }
+
+    def published_state(self) -> dict:
+        """Latest atomically-swapped state (the /alerts endpoint body).
+
+        ``rounds_evaluated`` is read live off the watchdog (a single
+        int attribute read, atomic under the GIL); everything composite
+        comes from the immutable published dict.
+        """
+        return {**self._published, "rounds_evaluated": self._rounds}
+
+    def summary(self) -> list[dict]:
+        """Every fired alert, in firing order (end-of-run digest)."""
+        return list(self.fired)
+
+    def finalize_result(self, result) -> None:
+        """Runner wiring: attach the digest to the simulation result."""
+        result.alerts = self.summary()
+        self._published = self._publish()
+
+
+# re-exported for rule files shipped next to configs
+__all__ = [
+    "DEFAULT_RULES",
+    "Rule",
+    "SIGNALS",
+    "Watchdog",
+    "load_rules",
+]

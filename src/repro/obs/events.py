@@ -36,6 +36,7 @@ EVENT_TYPES: dict[str, tuple[str, ...]] = {
     "decision_round": ("placed", "queued", "elapsed_s"),
     "postponed": ("job_id", "postponements"),
     "slo_violation": ("job_id", "utility", "min_utility"),
+    "alert": ("rule", "signal", "op", "value", "threshold", "severity", "state"),
 }
 
 _COMMON_FIELDS = ("schema", "seq", "type", "t", "scheduler")

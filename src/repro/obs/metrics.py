@@ -165,6 +165,37 @@ class Histogram(_Instrument):
         series = self._series.get(self._key(labels))
         return series.count if series is not None else 0
 
+    def quantile(self, q: float, **labels: str) -> float:
+        """Bucket-based quantile estimate (Prometheus semantics).
+
+        Finds the first bucket whose cumulative count covers the
+        ``q``-th observation and linearly interpolates within it.  Like
+        ``histogram_quantile``, the first bucket's lower edge is taken
+        as 0 (or its bound, when that bound is negative), and targets
+        falling in the implicit ``+Inf`` bucket clamp to the highest
+        finite bound.  Returns ``nan`` for an empty series so callers
+        (the SLO watchdog) can treat "no data yet" as "no violation".
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"{self.name}: quantile {q} outside [0, 1]")
+        series = self._series.get(self._key(labels))
+        if series is None or series.count == 0:
+            return math.nan
+        target = q * series.count
+        for i, bound in enumerate(self.buckets):
+            cum = series.bucket_counts[i]
+            if cum >= target:
+                lower_cum = series.bucket_counts[i - 1] if i > 0 else 0
+                if cum == lower_cum:
+                    # target rounds onto the bucket edge (q == running
+                    # fraction exactly); the value is at the lower edge
+                    continue
+                lower = self.buckets[i - 1] if i > 0 else min(0.0, bound)
+                return lower + (bound - lower) * (target - lower_cum) / (
+                    cum - lower_cum
+                )
+        return self.buckets[-1]
+
     def sum(self, **labels: str) -> float:
         series = self._series.get(self._key(labels))
         return series.sum if series is not None else 0.0

@@ -1,0 +1,162 @@
+"""Live introspection endpoint for running simulations.
+
+A stdlib :class:`~http.server.ThreadingHTTPServer` started on a
+daemon thread by ``repro simulate/compare --serve PORT``.  Four
+endpoints:
+
+* ``GET /metrics`` — the shared :class:`MetricsRegistry` in Prometheus
+  text exposition format (scrape-ready);
+* ``GET /healthz`` — liveness document: uptime, age of the last
+  published snapshot, run phase (``idle``/``running``/``finished``);
+* ``GET /state``   — JSON dump of the latest :class:`RunSnapshot`
+  (sim clock, queue depth, running/queued jobs, per-machine free
+  GPUs, allocation epoch, placement-cache counters);
+* ``GET /alerts``  — the SLO watchdog's current state (active alerts,
+  fired history), or ``{"enabled": false}`` without a watchdog.
+
+Handlers only ever read atomically-swapped immutable objects — the
+publisher's snapshot slot and the watchdog's published state — so a
+scrape can never block or perturb the simulation thread; results stay
+bit-identical with the server attached (pinned by the fast-path A/B
+equivalence test).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.export import render_prometheus
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.state import SnapshotPublisher
+
+
+class IntrospectionServer:
+    """Owns the HTTP server thread and the read-only data sources."""
+
+    def __init__(
+        self,
+        publisher: SnapshotPublisher,
+        registry: MetricsRegistry | None = None,
+        watchdog=None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.publisher = publisher
+        self.registry = registry
+        self.watchdog = watchdog
+        self._started_at = time.time()
+        outer = self
+
+        class Handler(BaseHTTPRequestHandler):
+            # one introspection server per process is the normal case;
+            # closing over `outer` keeps the handler stateless
+            def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+                pass  # silence per-request stderr chatter
+
+            def do_GET(self) -> None:
+                path = self.path.split("?", 1)[0]
+                if path == "/metrics":
+                    self._send(200, outer.render_metrics(),
+                               "text/plain; version=0.0.4; charset=utf-8")
+                elif path == "/healthz":
+                    body, code = outer.render_health()
+                    self._send(code, body, "application/json")
+                elif path == "/state":
+                    self._send(200, outer.render_state(), "application/json")
+                elif path == "/alerts":
+                    self._send(200, outer.render_alerts(), "application/json")
+                else:
+                    self._send(404, json.dumps({"error": f"no route {path}"}),
+                               "application/json")
+
+            def _send(self, code: int, body: str, content_type: str) -> None:
+                payload = body.encode("utf-8")
+                self.send_response(code)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(payload)))
+                self.end_headers()
+                self.wfile.write(payload)
+
+        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "IntrospectionServer":
+        self._started_at = time.time()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-introspection",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "IntrospectionServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+    # ------------------------------------------------------------------
+    # endpoint bodies (also the library/test surface; no HTTP needed)
+    # ------------------------------------------------------------------
+    def render_metrics(self) -> str:
+        if self.registry is None:
+            return "# no metrics registry attached\n"
+        return render_prometheus(self.registry)
+
+    def render_health(self) -> tuple[str, int]:
+        now = time.time()
+        snapshot = self.publisher.snapshot
+        if snapshot is None:
+            phase = "idle"
+            last_event_age = None
+        else:
+            phase = "finished" if snapshot.finished else "running"
+            last_event_age = max(0.0, now - snapshot.wall_time)
+        doc = {
+            "status": "ok",
+            "phase": phase,
+            "uptime_s": round(now - self._started_at, 6),
+            "last_event_age_s": last_event_age,
+            "events_seen": snapshot.events_seen if snapshot else 0,
+        }
+        return json.dumps(doc), 200
+
+    def render_state(self) -> str:
+        snapshot = self.publisher.snapshot
+        if snapshot is None:
+            return json.dumps({"phase": "idle", "snapshot": None})
+        return json.dumps(snapshot.to_dict())
+
+    def render_alerts(self) -> str:
+        if self.watchdog is None:
+            return json.dumps({"enabled": False, "active": [], "fired": []})
+        return json.dumps(self.watchdog.published_state())

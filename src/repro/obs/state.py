@@ -1,0 +1,209 @@
+"""Live run snapshots for the introspection server.
+
+The simulation runs in one thread; the introspection server
+(:mod:`repro.obs.server`) answers HTTP requests from others.  Rather
+than locking the mutable :class:`~repro.sim.cluster.ClusterState` —
+which would make readers perturb the simulation and break the
+bit-identical guarantee — the sim thread periodically *publishes* an
+immutable :class:`RunSnapshot` into a :class:`SnapshotPublisher`.
+Publishing is a single attribute assignment (atomic under the GIL), so
+readers always see either the previous complete snapshot or the next
+one, never a half-built state, and the sim thread never blocks on a
+reader.
+
+:class:`SnapshotObserver` is the :class:`~repro.sim.hooks.SimObserver`
+that builds snapshots.  It is bound to the run by the runner
+(``bind_simulation``) so it can read queue depth, per-machine free
+GPUs, the allocation epoch and placement-cache counters directly from
+the live cluster, and it republishes at every decision-round boundary
+— the same cadence Algorithm 1 wakes the scheduler on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+
+from repro.sim.hooks import BaseObserver
+
+#: snapshot document version served under ``/state``
+STATE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RunSnapshot:
+    """One immutable point-in-time view of a simulation run.
+
+    Everything the ``/state`` and ``/healthz`` endpoints serve; the
+    ``wall_time`` stamp is *observer-side* wall clock (used only for
+    liveness ages, never fed back into the simulation).
+    """
+
+    scheduler: str = ""
+    sim_time: float = 0.0
+    wall_time: float = 0.0
+    decision_rounds: int = 0
+    queue_depth: int = 0
+    running_jobs: tuple[str, ...] = ()
+    queued_jobs: tuple[str, ...] = ()
+    gpus_busy: int = 0
+    total_gpus: int = 0
+    free_gpus_by_machine: tuple[tuple[str, int], ...] = ()
+    allocation_epoch: int = 0
+    placement_cache: tuple[tuple[str, float], ...] = ()
+    events_seen: int = 0
+    finished: bool = False
+    makespan: float = 0.0
+
+    def to_dict(self) -> dict:
+        doc = asdict(self)
+        doc["schema"] = STATE_SCHEMA_VERSION
+        doc["running_jobs"] = list(self.running_jobs)
+        doc["queued_jobs"] = list(self.queued_jobs)
+        doc["free_gpus_by_machine"] = dict(self.free_gpus_by_machine)
+        doc["placement_cache"] = dict(self.placement_cache)
+        return doc
+
+
+class SnapshotPublisher:
+    """Single-slot atomic handoff between the sim thread and readers.
+
+    ``publish`` swaps in a complete immutable snapshot; ``snapshot``
+    reads whatever was last published (or ``None`` before the run
+    starts).  Both are single reference operations — no locks, no
+    copies on the read side.
+    """
+
+    def __init__(self) -> None:
+        self._snapshot: RunSnapshot | None = None
+
+    @property
+    def snapshot(self) -> RunSnapshot | None:
+        return self._snapshot
+
+    def publish(self, snapshot: RunSnapshot) -> None:
+        self._snapshot = snapshot
+
+
+class SnapshotObserver(BaseObserver):
+    """Publish a fresh :class:`RunSnapshot` at decision-round cadence.
+
+    A pure tap: it reads cluster/scheduler state inside the sim thread
+    (where every other observer already runs) and only ever *writes*
+    the publisher slot.  ``clock`` is the wall-time source for
+    liveness stamps and is injectable for deterministic tests.
+
+    Rebuilding a full snapshot costs microseconds, which adds up when
+    decision rounds tick far faster than any scraper reads — so
+    rebuilds are throttled to one per ``min_publish_interval_s`` of
+    wall clock (default 50 ms, i.e. at most ~20 rebuilds/s no matter
+    the round rate).  Throttling consults only the observer-side wall
+    clock and the publisher slot, never simulation state, so results
+    stay bit-identical.  The bind-time and end-of-run snapshots always
+    publish.
+    """
+
+    def __init__(
+        self,
+        publisher: SnapshotPublisher | None = None,
+        *,
+        scheduler: str = "",
+        total_gpus: int | None = None,
+        clock=time.time,
+        min_publish_interval_s: float = 0.05,
+    ) -> None:
+        self.publisher = publisher if publisher is not None else SnapshotPublisher()
+        self.scheduler = scheduler
+        self.total_gpus = total_gpus
+        self.clock = clock
+        self.min_publish_interval_s = min_publish_interval_s
+        self._last_publish = float("-inf")
+        self._events_seen = 0
+        self._rounds = 0
+        self._cluster = None
+        self._sched = None
+
+    # ------------------------------------------------------------------
+    def bind_simulation(self, sim) -> None:
+        """Called by the runner once the Simulator exists."""
+        self._cluster = sim.cluster
+        self._sched = sim.scheduler
+        if not self.scheduler:
+            self.scheduler = sim.scheduler.name
+        if self.total_gpus is None:
+            self.total_gpus = len(sim.topo.gpus())
+        self._publish()
+
+    # ------------------------------------------------------------------
+    def _build(self, *, finished: bool = False, makespan: float = 0.0) -> RunSnapshot:
+        cluster = self._cluster
+        if cluster is None:
+            return RunSnapshot(
+                scheduler=self.scheduler,
+                wall_time=self.clock(),
+                total_gpus=self.total_gpus or 0,
+                events_seen=self._events_seen,
+                finished=finished,
+                makespan=makespan,
+            )
+        alloc = cluster.alloc
+        free_by_machine = tuple(
+            (m, alloc.free_count(m)) for m in sorted(cluster.topo.machines())
+        )
+        busy = sum(len(run.gpus) for run in cluster.running.values())
+        stats = cluster.engine.stats.as_dict()
+        queued = (
+            tuple(j.job_id for j in self._sched.queued_jobs())
+            if self._sched is not None
+            else ()
+        )
+        return RunSnapshot(
+            scheduler=self.scheduler,
+            sim_time=cluster.now,
+            wall_time=self.clock(),
+            decision_rounds=self._rounds,
+            queue_depth=len(queued),
+            running_jobs=tuple(sorted(cluster.running)),
+            queued_jobs=queued,
+            gpus_busy=busy,
+            total_gpus=self.total_gpus or len(cluster.topo.gpus()),
+            free_gpus_by_machine=free_by_machine,
+            allocation_epoch=alloc.version,
+            placement_cache=tuple(sorted(stats.items())),
+            events_seen=self._events_seen,
+            finished=finished,
+            makespan=makespan,
+        )
+
+    def _publish(self, **kwargs) -> None:
+        self._last_publish = self.clock()
+        self.publisher.publish(self._build(**kwargs))
+
+    # ------------------------------------------------------------------
+    # SimObserver hooks: count traffic, republish at round boundaries
+    # ------------------------------------------------------------------
+    def on_arrival(self, t, job):
+        self._events_seen += 1
+
+    def on_place(self, t, job, solution, solo_exec_time, postponements):
+        self._events_seen += 1
+
+    def on_finish(self, t, job, gpus):
+        self._events_seen += 1
+
+    def on_failure(self, t, machine, victims):
+        self._events_seen += 1
+
+    def on_requeue(self, t, job):
+        self._events_seen += 1
+
+    def on_decision_round(self, t, placed, queued, elapsed_s):
+        self._events_seen += 1
+        self._rounds += 1
+        if self.clock() - self._last_publish >= self.min_publish_interval_s:
+            self._publish()
+
+    # ------------------------------------------------------------------
+    def finalize_result(self, result) -> None:
+        """Publish the terminal snapshot once the run has a result."""
+        self._publish(finished=True, makespan=result.makespan)

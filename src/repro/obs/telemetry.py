@@ -63,6 +63,7 @@ class TelemetryObserver(BaseObserver):
         self._running = 0
         self._held: dict[str, int] = {}  # job id -> GPUs it occupies
         self._postponements_seen: dict[str, int] = {}
+        self._ended = False
 
         reg = self.registry
         labels = ("scheduler",)
@@ -144,6 +145,13 @@ class TelemetryObserver(BaseObserver):
         self._emit("run_start", 0.0, jobs=jobs, total_gpus=self.total_gpus or 0)
 
     def run_end(self, result) -> None:
+        # idempotent: the runner finalizes observers automatically, but
+        # pre-existing callers (examples, tests) still call run_end by
+        # hand — the second call must not double-count memo stats or
+        # emit a second run_end event.
+        if self._ended:
+            return
+        self._ended = True
         finished = sum(1 for r in result.records if r.finished_at is not None)
         unplaceable = sum(1 for r in result.records if r.unplaceable)
         stats = getattr(result, "placement_stats", None) or {}
@@ -163,6 +171,11 @@ class TelemetryObserver(BaseObserver):
             unplaceable=unplaceable,
             **({"placement_cache": stats} if stats else {}),
         )
+
+    def finalize_result(self, result) -> None:
+        """Runner wiring (:func:`repro.sim.runner.run_with_observers`):
+        emit the run_end envelope once the result exists."""
+        self.run_end(result)
 
     # ------------------------------------------------------------------
     # SimObserver hooks

@@ -58,6 +58,10 @@ class SimulationResult:
     #: reported by :class:`repro.core.placement.PlacementStats`; empty
     #: for runs whose engine exposes none.
     placement_stats: dict = field(default_factory=dict)
+    #: SLO alerts fired during the run (one dict per firing, as built
+    #: by :class:`repro.obs.alerts.Watchdog`); attached by the runner
+    #: when a watchdog observer was present, empty otherwise.
+    alerts: list = field(default_factory=list)
     _index: dict[str, JobRecord] | None = field(
         default=None, init=False, repr=False, compare=False
     )

@@ -21,6 +21,34 @@ from repro.workload.job import Job
 DEFAULT_POLICIES = ("BF", "FCFS", "TOPO-AWARE", "TOPO-AWARE-P")
 
 
+def _bind_observers(sim: Simulator, observers: Sequence[SimObserver]) -> None:
+    """Give run-aware observers a view of the simulation they tap.
+
+    Observers that expose ``bind_simulation`` (the snapshot publisher,
+    the SLO watchdog) receive the :class:`Simulator` before the run so
+    they can read cluster/scheduler state directly instead of shadow-
+    tracking it from hook arguments.  Binding is read-only wiring; the
+    observers stay taps.
+    """
+    for obs in observers:
+        bind = getattr(obs, "bind_simulation", None)
+        if callable(bind):
+            bind(sim)
+
+
+def _finalize_observers(
+    result: SimulationResult, observers: Sequence[SimObserver]
+) -> None:
+    """Post-run hook: observers that expose ``finalize_result`` get
+    the finished result (the watchdog attaches its alert digest, the
+    telemetry observer emits ``run_end``, the snapshot publisher marks
+    the run finished)."""
+    for obs in observers:
+        finalize = getattr(obs, "finalize_result", None)
+        if callable(finalize):
+            finalize(result)
+
+
 def run_with_observers(
     topo: TopologyGraph,
     scheduler: Scheduler,
@@ -35,7 +63,10 @@ def run_with_observers(
     utility params, profiles, failures, a pre-built cluster state).
     """
     sim = Simulator(topo, scheduler, list(jobs), observers=observers, **sim_kwargs)
-    return sim.run()
+    _bind_observers(sim, observers)
+    result = sim.run()
+    _finalize_observers(result, observers)
+    return result
 
 
 def run_comparison(
@@ -67,5 +98,7 @@ def run_comparison(
             observers=observers,
             **sim_kwargs,
         )
+        _bind_observers(sim, observers)
         results[name] = sim.run()
+        _finalize_observers(results[name], observers)
     return results

@@ -1,0 +1,200 @@
+"""SLO watchdog: rule loading, deterministic firing, tap-only-ness."""
+
+import json
+import math
+
+import pytest
+
+from repro.analysis.scenarios import scenario1_jobs
+from repro.obs import EventLog, MetricsRegistry
+from repro.obs.alerts import DEFAULT_RULES, Rule, Watchdog, load_rules
+from repro.obs.telemetry import TelemetryObserver
+from repro.schedulers import make_scheduler
+from repro.sim.runner import run_with_observers
+from repro.topology.builders import cluster, power8_minsky
+from repro.workload.job import Job, ModelType
+
+
+def saturating_jobs(n: int = 12) -> list[Job]:
+    """All jobs arrive at t=0 on a 4-GPU machine and each wants all of
+    it: execution serialises and queue waits grow without bound."""
+    return [
+        Job(f"job{i}", ModelType.ALEXNET, 4, 4, arrival_time=0.0,
+            iterations=4000)
+        for i in range(n)
+    ]
+
+
+def run_watchdog(jobs, topo_factory, rules, scheduler="FCFS"):
+    registry = MetricsRegistry()
+    log = EventLog()
+    telemetry = TelemetryObserver(registry, log, scheduler=scheduler)
+    watchdog = Watchdog(registry, log, rules, scheduler=scheduler)
+    result = run_with_observers(
+        topo_factory(),
+        make_scheduler(scheduler),
+        jobs,
+        observers=(telemetry, watchdog),
+    )
+    return registry, log, watchdog, result
+
+
+class TestRule:
+    def test_rejects_unknown_signal(self):
+        with pytest.raises(ValueError, match="unknown signal"):
+            Rule("r", "no_such_signal", ">", 1.0)
+
+    def test_rejects_unknown_operator(self):
+        with pytest.raises(ValueError, match="unknown operator"):
+            Rule("r", "queue_depth", "!=", 1.0)
+
+    def test_rejects_nonpositive_for_rounds(self):
+        with pytest.raises(ValueError, match="for_rounds"):
+            Rule("r", "queue_depth", ">", 1.0, for_rounds=0)
+
+    def test_nan_never_violates(self):
+        rule = Rule("r", "queue_wait_p95", ">", 0.0)
+        assert not rule.violated(math.nan)
+        assert rule.violated(1.0)
+
+
+class TestLoadRules:
+    def test_json_round_trip(self, tmp_path):
+        path = tmp_path / "rules.json"
+        path.write_text(json.dumps({
+            "rules": [
+                {"name": "qw", "signal": "queue_wait_p95", "op": ">",
+                 "threshold": 60.0, "for_rounds": 2, "severity": "critical"},
+                {"name": "util", "signal": "utilization", "op": "<",
+                 "threshold": 0.1},
+            ]
+        }))
+        rules = load_rules(path)
+        assert [r.name for r in rules] == ["qw", "util"]
+        assert rules[0].for_rounds == 2
+        assert rules[1].severity == "warning"
+
+    def test_toml_round_trip(self, tmp_path):
+        pytest.importorskip("tomllib")
+        path = tmp_path / "rules.toml"
+        path.write_text(
+            '[[rules]]\nname = "qw"\nsignal = "queue_depth"\n'
+            'op = ">="\nthreshold = 5\n'
+        )
+        (rule,) = load_rules(path)
+        assert rule.name == "qw" and rule.threshold == 5
+
+    def test_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "rules.json"
+        path.write_text("{nope")
+        with pytest.raises(ValueError, match="not JSON"):
+            load_rules(path)
+
+    def test_rejects_missing_rules_array(self, tmp_path):
+        path = tmp_path / "rules.json"
+        path.write_text("{}")
+        with pytest.raises(ValueError, match="'rules' array"):
+            load_rules(path)
+
+    def test_rejects_unknown_fields(self, tmp_path):
+        path = tmp_path / "rules.json"
+        path.write_text(json.dumps({"rules": [
+            {"name": "x", "signal": "queue_depth", "op": ">",
+             "threshold": 1, "surprise": True}
+        ]}))
+        with pytest.raises(ValueError, match="unknown fields"):
+            load_rules(path)
+
+    def test_rejects_empty_rules(self, tmp_path):
+        path = tmp_path / "rules.json"
+        path.write_text(json.dumps({"rules": []}))
+        with pytest.raises(ValueError, match="empty"):
+            load_rules(path)
+
+
+class TestWatchdogFiring:
+    def test_fires_deterministically_on_saturated_queue(self):
+        rule = Rule("qw-p95", "queue_wait_p95", ">", 120.0, for_rounds=1,
+                    severity="critical")
+        first = run_watchdog(saturating_jobs(), power8_minsky, (rule,))
+        second = run_watchdog(saturating_jobs(), power8_minsky, (rule,))
+        for registry, log, watchdog, result in (first, second):
+            assert len(result.alerts) == 1, "edge-triggered: fires once"
+            alert = result.alerts[0]
+            assert alert["rule"] == "qw-p95"
+            assert alert["state"] == "firing"
+            assert alert["value"] > 120.0
+            counter = registry.get("repro_alerts_fired_total")
+            assert counter.value(scheduler="FCFS", rule="qw-p95") == 1
+            (event,) = log.of_type("alert")
+            assert event["rule"] == "qw-p95"
+            assert event["severity"] == "critical"
+        # sim-time signals: identical runs fire at the identical instant
+        assert first[3].alerts[0]["t"] == second[3].alerts[0]["t"]
+        assert first[3].alerts[0]["round"] == second[3].alerts[0]["round"]
+
+    def test_for_rounds_suppresses_transients(self):
+        # the queue is non-empty for many rounds, but an absurd
+        # persistence requirement never lets the rule mature
+        rule = Rule("qd", "queue_depth", ">", 0.0, for_rounds=10_000)
+        *_, result = run_watchdog(saturating_jobs(), power8_minsky, (rule,))
+        assert result.alerts == []
+
+    def test_queue_depth_rule_fires_and_resolves(self):
+        rule = Rule("qd", "queue_depth", ">=", 8.0, for_rounds=1)
+        _, log, watchdog, result = run_watchdog(
+            saturating_jobs(12), power8_minsky, (rule,)
+        )
+        assert len(result.alerts) == 1
+        states = [e["state"] for e in log.of_type("alert")]
+        # fired while 8+ jobs waited, resolved as the queue drained
+        assert states == ["firing", "resolved"]
+        assert watchdog.published_state()["active"] == []
+        assert watchdog.published_state()["fired_total"] == 1
+
+    def test_default_rules_silent_on_scenario1(self):
+        *_, result = run_watchdog(
+            scenario1_jobs(100, seed=42),
+            lambda: cluster(5),
+            DEFAULT_RULES,
+            scheduler="TOPO-AWARE-P",
+        )
+        assert result.alerts == []
+
+    def test_duplicate_rule_names_rejected(self):
+        rule = Rule("same", "queue_depth", ">", 1.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            Watchdog(MetricsRegistry(), None, (rule, rule))
+
+    def test_watchdog_does_not_change_results(self):
+        jobs = scenario1_jobs(30, seed=42)
+        rule = Rule("qd", "queue_depth", ">", 0.0, for_rounds=1)
+        *_, with_dog = run_watchdog(jobs, lambda: cluster(2), (rule,),
+                                    scheduler="TOPO-AWARE")
+        bare = run_with_observers(
+            cluster(2), make_scheduler("TOPO-AWARE"), jobs
+        )
+        assert [r.finished_at for r in with_dog.records] == [
+            r.finished_at for r in bare.records
+        ]
+        assert with_dog.makespan == bare.makespan
+
+    def test_alert_summary_attached_by_runner(self):
+        rule = Rule("qd", "queue_depth", ">", 0.0, for_rounds=1)
+        *_, watchdog, result = run_watchdog(
+            saturating_jobs(6), power8_minsky, (rule,)
+        )
+        assert result.alerts == watchdog.summary()
+        assert result.alerts  # the saturated queue fired it
+
+
+class TestPublishedState:
+    def test_published_state_shape(self):
+        rule = Rule("qd", "queue_depth", ">", 0.0, for_rounds=1)
+        *_, watchdog, _ = run_watchdog(saturating_jobs(6), power8_minsky,
+                                       (rule,))
+        doc = watchdog.published_state()
+        assert doc["enabled"] is True
+        assert doc["rules"] == ["qd"]
+        assert doc["rounds_evaluated"] > 0
+        json.dumps(doc)  # must be wire-serialisable as-is

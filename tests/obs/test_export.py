@@ -104,3 +104,55 @@ class TestJsonExposition:
         js = write_metrics(reg, tmp_path / "m.json")
         assert prom.read_text().startswith("# HELP")
         assert json.loads(js.read_text())["families"]
+
+
+class TestParserRoundTrips:
+    def test_empty_registry_round_trips(self):
+        text = render_prometheus(MetricsRegistry())
+        assert parse_prometheus(text) == {}
+        doc = json.loads(render_json(MetricsRegistry()))
+        assert doc["families"] == []
+
+    def test_registered_but_unobserved_families_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("quiet_total", "never incremented", ("scheduler",))
+        families = parse_prometheus(render_prometheus(reg))
+        assert families["quiet_total"]["type"] == "counter"
+        assert families["quiet_total"]["samples"] == []
+
+    def test_explicit_inf_bucket_bound_round_trips(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_seconds", "x", buckets=(1.0, math.inf))
+        h.observe(0.5)
+        h.observe(50.0)
+        families = parse_prometheus(render_prometheus(reg))
+        assert sample_value(
+            families, "lat_seconds", series="lat_seconds_bucket",
+            labels={"le": "+Inf"},
+        ) == 2
+        assert sample_value(
+            families, "lat_seconds", series="lat_seconds_bucket",
+            labels={"le": "1.0"},
+        ) == 1
+
+    def test_label_value_with_comma_and_braces(self):
+        reg = MetricsRegistry()
+        reg.counter("odd_total", "x", ("expr",)).inc(expr='a{b="c",d}')
+        families = parse_prometheus(render_prometheus(reg))
+        (sample,) = families["odd_total"]["samples"]
+        assert sample["labels"]["expr"] == 'a{b="c",d}'
+
+    def test_multi_family_document_round_trips(self):
+        reg = make_registry()
+        text = render_prometheus(reg)
+        families = parse_prometheus(text)
+        assert set(families) == {
+            "repro_jobs_total", "repro_queue_depth", "repro_latency_seconds",
+        }
+        # histogram family carries bucket/sum/count series under one name
+        series = {s["series"] for s in families["repro_latency_seconds"]["samples"]}
+        assert series == {
+            "repro_latency_seconds_bucket",
+            "repro_latency_seconds_sum",
+            "repro_latency_seconds_count",
+        }

@@ -111,3 +111,53 @@ class TestRegistry:
         reg.counter("b_total", "b")
         reg.gauge("a", "a")
         assert [i.name for i in reg.collect()] == ["b_total", "a"]
+
+
+class TestQuantile:
+    def make(self):
+        h = Histogram("lat", "latency", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.5, 3.0):
+            h.observe(v)
+        return h
+
+    def test_linear_interpolation_inside_bucket(self):
+        h = self.make()
+        # p50 -> target rank 2 of 4: one obs <= 1.0, three <= 2.0, so
+        # halfway through the (1.0, 2.0] bucket
+        assert h.quantile(0.5) == pytest.approx(1.5)
+        # p25 -> rank 1: exactly the first bucket's upper bound
+        assert h.quantile(0.25) == pytest.approx(1.0)
+
+    def test_first_bucket_interpolates_from_zero(self):
+        h = Histogram("lat", "latency", buckets=(1.0, 2.0))
+        h.observe(0.2)
+        h.observe(0.4)
+        # both observations in [0, 1.0]: p50 lands mid-bucket
+        assert h.quantile(0.5) == pytest.approx(0.5)
+
+    def test_inf_bucket_clamps_to_highest_finite_bound(self):
+        h = self.make()
+        h.observe(100.0)  # falls in the +Inf bucket
+        assert h.quantile(1.0) == 4.0
+
+    def test_empty_series_is_nan(self):
+        h = Histogram("lat", "latency", buckets=(1.0,))
+        assert math.isnan(h.quantile(0.95))
+
+    def test_unknown_labels_are_nan(self):
+        h = Histogram("lat", "latency", ("scheduler",), buckets=(1.0,))
+        h.observe(0.5, scheduler="FCFS")
+        assert math.isnan(h.quantile(0.5, scheduler="BF"))
+        assert h.quantile(0.5, scheduler="FCFS") == pytest.approx(0.5)
+
+    def test_rejects_out_of_range_q(self):
+        h = self.make()
+        with pytest.raises(ValueError, match="outside"):
+            h.quantile(1.5)
+        with pytest.raises(ValueError, match="outside"):
+            h.quantile(-0.1)
+
+    def test_monotone_in_q(self):
+        h = self.make()
+        qs = [h.quantile(q / 10) for q in range(1, 11)]
+        assert qs == sorted(qs)

@@ -58,6 +58,54 @@ def test_table1_memo_on_off_identical(scheduler_name):
     _assert_identical(memo, cold)
 
 
+@pytest.mark.parametrize("scheduler_name", ["TOPO-AWARE", "TOPO-AWARE-P"])
+def test_fully_instrumented_run_identical_to_bare(scheduler_name):
+    """The whole observability stack is a tap: running with the
+    introspection server live, span recording on, and telemetry +
+    watchdog + snapshot observers attached must reproduce the bare
+    run's records bit-for-bit."""
+    from repro.obs import EventLog, MetricsRegistry
+    from repro.obs.alerts import DEFAULT_RULES, Watchdog
+    from repro.obs.server import IntrospectionServer
+    from repro.obs.state import SnapshotObserver, SnapshotPublisher
+    from repro.obs.telemetry import TelemetryObserver
+    from repro.obs.trace import recording
+    from repro.sim.runner import run_with_observers
+
+    jobs = scenario1_jobs(60, seed=42)
+    bare = run_with_observers(
+        cluster(3), make_scheduler(scheduler_name), jobs
+    )
+
+    registry = MetricsRegistry()
+    log = EventLog()
+    publisher = SnapshotPublisher()
+    watchdog = Watchdog(registry, log, DEFAULT_RULES, scheduler=scheduler_name)
+    observers = (
+        TelemetryObserver(registry, log, scheduler=scheduler_name),
+        watchdog,
+        SnapshotObserver(publisher),
+    )
+    with IntrospectionServer(publisher, registry, watchdog):
+        with recording():
+            instrumented = run_with_observers(
+                cluster(3),
+                make_scheduler(scheduler_name),
+                jobs,
+                observers=observers,
+            )
+
+    _assert_identical(bare, instrumented)
+    assert bare.makespan == instrumented.makespan
+    assert bare.decision_rounds == instrumented.decision_rounds
+    # and the instrumentation actually ran: snapshots were published
+    # and the registry saw the whole job stream
+    assert publisher.snapshot.finished
+    assert registry.get("repro_jobs_finished_total").value(
+        scheduler=scheduler_name
+    ) == len(jobs)
+
+
 def test_check_equivalence_reports_identical():
     jobs = scenario1_jobs(30, seed=42)
     verdict = check_equivalence(jobs, 5)

@@ -215,3 +215,133 @@ class TestParser:
 
     def test_module_entry_point_exists(self):
         import repro.__main__  # noqa: F401  -- imports (and exits) only under -m
+
+
+class TestObservabilityCLI:
+    def write_trace(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert main(
+            ["simulate", "--jobs", "5", "--machines", "1",
+             "--scheduler", "TOPO-AWARE", "--seed", "7",
+             "--trace-out", str(trace)]
+        ) == 0
+        return trace
+
+    def test_trace_export_writes_chrome_json(self, tmp_path, capsys):
+        import json
+
+        trace = self.write_trace(tmp_path)
+        capsys.readouterr()
+        out = tmp_path / "t.chrome.json"
+        assert main(["trace", "export", str(trace), "--out", str(out)]) == 0
+        assert "exported to" in capsys.readouterr().out
+        doc = json.loads(out.read_text())
+        events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert events and all("ts" in e and "dur" in e for e in events)
+
+    def test_trace_export_default_output_name(self, tmp_path, capsys):
+        trace = self.write_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "export", str(trace)]) == 0
+        assert (tmp_path / "trace.chrome.json").exists()
+
+    def test_trace_profile_prints_tables(self, tmp_path, capsys):
+        trace = self.write_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "profile", str(trace), "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "per-phase aggregate" in out
+        assert "sched.propose" in out
+        assert "critical path:" in out
+
+    def test_trace_profile_job_filter(self, tmp_path, capsys):
+        trace = self.write_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["trace", "profile", str(trace), "--job", "job0"]) == 0
+        assert "job0" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("sub", ["summarize", "export", "profile"])
+    def test_trace_missing_file_exits_2(self, sub, tmp_path, capsys):
+        code = main(["trace", sub, str(tmp_path / "absent.jsonl")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and err.count("\n") == 1
+
+    @pytest.mark.parametrize("sub", ["summarize", "export", "profile"])
+    def test_trace_invalid_schema_exits_2(self, sub, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"schema": 99, "kind": "span"}\n')
+        assert main(["trace", sub, str(bad)]) == 2
+        assert "unsupported trace schema" in capsys.readouterr().err
+
+    def test_trace_not_json_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json at all\n")
+        assert main(["trace", "summarize", str(bad)]) == 2
+        assert "not JSON" in capsys.readouterr().err
+
+    def test_simulate_serve_prints_endpoints_and_exits(self, capsys):
+        code = main(
+            ["simulate", "--jobs", "5", "--machines", "1", "--seed", "7",
+             "--serve", "0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "introspection server listening on http://127.0.0.1:" in out
+        assert "/metrics /healthz /state /alerts" in out
+
+    def test_simulate_watchdog_summary_and_quantiles(self, capsys):
+        code = main(
+            ["simulate", "--jobs", "10", "--machines", "1", "--seed", "7",
+             "--scheduler", "TOPO-AWARE", "--watchdog"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "slo_alerts_fired: 0" in out
+        assert "queue_wait_p50_s" in out and "queue_wait_p95_s" in out
+
+    def test_simulate_slo_rules_fire_and_print(self, tmp_path, capsys):
+        import json
+
+        rules = tmp_path / "rules.json"
+        rules.write_text(json.dumps({"rules": [
+            {"name": "any-queue", "signal": "queue_depth", "op": ">=",
+             "threshold": 0, "severity": "warning"}
+        ]}))
+        code = main(
+            ["simulate", "--jobs", "5", "--machines", "1", "--seed", "7",
+             "--slo-rules", str(rules)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "slo_alerts_fired: 1" in out
+        assert "ALERT [warning] any-queue: queue_depth >= 0" in out
+
+    def test_simulate_bad_slo_rules_exits_2(self, tmp_path, capsys):
+        rules = tmp_path / "rules.json"
+        rules.write_text("{broken")
+        code = main(
+            ["simulate", "--jobs", "5", "--machines", "1", "--seed", "7",
+             "--slo-rules", str(rules)]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: --slo-rules:")
+
+    def test_simulate_missing_slo_rules_exits_2(self, tmp_path, capsys):
+        code = main(
+            ["simulate", "--jobs", "5", "--machines", "1", "--seed", "7",
+             "--slo-rules", str(tmp_path / "absent.json")]
+        )
+        assert code == 2
+        assert "error: --slo-rules:" in capsys.readouterr().err
+
+    def test_compare_watchdog_prints_per_policy_lines(self, capsys):
+        code = main(
+            ["compare", "--jobs", "5", "--machines", "1", "--seed", "7",
+             "--watchdog"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("BF", "FCFS", "TOPO-AWARE", "TOPO-AWARE-P"):
+            assert f"[{name}] slo_alerts_fired: 0" in out
