@@ -1,0 +1,171 @@
+#!/usr/bin/env python
+"""CI smoke check: the scheduler service daemon end to end.
+
+Launches ``repro serve`` as a subprocess against a throwaway sqlite
+store, then drives it purely over HTTP the way an external client
+would:
+
+* ``POST /submit`` a job -> 202 with ``state: SUBMITTED``;
+* poll ``GET /jobs/<id>`` until the job reaches ``FINISHED`` and its
+  record carries a placement;
+* resubmitting the same id answers 409 ``duplicate``;
+* ``POST /submit`` an over-capacity job answers 422;
+* ``POST /cancel`` of the finished job answers 409 (terminal wins),
+  of an unknown id 404;
+* ``GET /jobs`` lists every id with a terminal state, ``GET /metrics``
+  carries the service metric families;
+* ``SIGTERM`` shuts the daemon down cleanly (exit 0, the stop line on
+  stdout) and the sqlite journal holds the full lifecycle history.
+
+Budget: well under 30 s.
+
+Run:  PYTHONPATH=src python scripts/daemon_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import sqlite3
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+LISTEN_RE = re.compile(r"listening on (http://\S+)")
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def http(method: str, url: str, body: dict | None = None) -> tuple[int, dict]:
+    data = None if body is None else json.dumps(body).encode()
+    request = urllib.request.Request(
+        url,
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=5) as resp:
+            return resp.status, json.loads(resp.read() or b"{}")
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read() or b"{}")
+
+
+def main() -> None:
+    store = os.path.join(tempfile.mkdtemp(prefix="repro-daemon-"), "svc.db")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--machines", "2", "--port", "0", "--store", store],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=dict(os.environ, PYTHONPATH="src", PYTHONUNBUFFERED="1"),
+    )
+    try:
+        url = None
+        deadline = time.time() + 30
+        assert proc.stdout is not None
+        seen = []
+        while time.time() < deadline:
+            line = proc.stdout.readline()
+            if not line:
+                break
+            seen.append(line)
+            match = LISTEN_RE.search(line)
+            if match:
+                url = match.group(1)
+                break
+        if url is None:
+            fail(f"no listen line in output: {seen!r}")
+
+        # -- submit ----------------------------------------------------
+        job = {"id": "smoke-1", "model": "alexnet", "batch_size": 4,
+               "num_gpus": 2}
+        status, doc = http("POST", url + "/submit", job)
+        if status != 202 or doc.get("state") != "SUBMITTED":
+            fail(f"/submit answered {status}: {doc}")
+
+        # -- poll to terminal ------------------------------------------
+        state = None
+        poll_deadline = time.time() + 15
+        while time.time() < poll_deadline:
+            status, doc = http("GET", url + "/jobs/smoke-1")
+            state = doc.get("state")
+            if state in ("FINISHED", "CANCELLED", "FAILED"):
+                break
+            time.sleep(0.05)
+        if state != "FINISHED":
+            fail(f"job never finished (last state {state!r})")
+        record = doc.get("record") or {}
+        if len(record.get("gpus", [])) != 2:
+            fail(f"finished record lacks a placement: {record}")
+
+        # -- rejection codes -------------------------------------------
+        status, doc = http("POST", url + "/submit", job)
+        if status != 409 or doc.get("rejected") != "duplicate":
+            fail(f"duplicate submit answered {status}: {doc}")
+        wide = dict(job, id="smoke-wide", num_gpus=999)
+        status, doc = http("POST", url + "/submit", wide)
+        if status != 422 or doc.get("rejected") != "over-capacity":
+            fail(f"over-capacity submit answered {status}: {doc}")
+
+        # -- cancel semantics ------------------------------------------
+        status, doc = http("POST", url + "/cancel", {"id": "smoke-1"})
+        if status != 409:
+            fail(f"cancel of a finished job answered {status}: {doc}")
+        status, doc = http("POST", url + "/cancel", {"id": "ghost"})
+        if status != 404:
+            fail(f"cancel of an unknown job answered {status}: {doc}")
+
+        # -- listings and metrics --------------------------------------
+        status, doc = http("GET", url + "/jobs")
+        if status != 200 or doc.get("jobs", {}).get("smoke-1") != "FINISHED":
+            fail(f"/jobs table wrong: {doc}")
+        with urllib.request.urlopen(url + "/metrics", timeout=5) as resp:
+            metrics = resp.read().decode()
+        for family in ("repro_service_submissions_total",
+                       "repro_service_jobs"):
+            if family not in metrics:
+                fail(f"/metrics missing family {family}")
+
+        # -- clean SIGTERM shutdown ------------------------------------
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=30)
+        if proc.returncode != 0:
+            fail(f"serve exited {proc.returncode}: {err[-500:]}")
+        if "scheduler service stopped" not in out:
+            fail(f"no stop line in output: {out[-300:]!r}")
+
+        # -- the journal survived --------------------------------------
+        db = sqlite3.connect(store)
+        hops = db.execute(
+            "SELECT from_state, to_state FROM transitions "
+            "WHERE job_id = 'smoke-1' ORDER BY seq"
+        ).fetchall()
+        db.close()
+        expected = [(None, "SUBMITTED"), ("SUBMITTED", "QUEUED"),
+                    ("QUEUED", "PLACED"), ("PLACED", "RUNNING"),
+                    ("RUNNING", "FINISHED")]
+        if hops != expected:
+            fail(f"journal history wrong: {hops}")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+    print(
+        "daemon smoke OK: submit -> FINISHED over HTTP, rejection codes "
+        "409/422, cancel codes 409/404, clean SIGTERM, journal holds "
+        f"{len(expected)} lifecycle hops"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -8,7 +8,7 @@ validates every endpoint:
 * ``/metrics``   parses under the strict Prometheus parser and carries
   the lifecycle counter families;
 * ``/healthz``   is JSON with ``status: ok`` and a sane phase;
-* ``/state``     is a schema-1 snapshot whose makespan matches a
+* ``/state``     is a current-schema snapshot whose makespan matches a
   finished run;
 * ``/alerts``    is JSON with the default watchdog rules attached;
 * an unknown route answers 404.
@@ -33,6 +33,7 @@ import urllib.request
 sys.path.insert(0, "src")
 
 from repro.obs import parse_prometheus  # noqa: E402
+from repro.obs.state import STATE_SCHEMA_VERSION  # noqa: E402
 
 LISTEN_RE = re.compile(r"introspection server listening on (http://\S+)")
 LINGER_S = 10.0
@@ -97,8 +98,9 @@ def main() -> None:
         # -- /state ----------------------------------------------------
         status, body = get(url + "/state")
         state = json.loads(body)
-        if status != 200 or state.get("schema") != 1:
-            fail(f"/state not a schema-1 snapshot: {body[:200]}")
+        if status != 200 or state.get("schema") != STATE_SCHEMA_VERSION:
+            fail(f"/state not a schema-{STATE_SCHEMA_VERSION} snapshot: "
+                 f"{body[:200]}")
         if state.get("total_gpus", 0) <= 0:
             fail(f"/state total_gpus: {state.get('total_gpus')!r}")
 

@@ -213,13 +213,36 @@ def compare_to_baseline(
     scheduler regresses when its mean decision time exceeds the
     baseline's by more than ``threshold``x — generous by design, since
     CI machines differ from the one that wrote the baseline.
+
+    Raises :class:`OSError` when the baseline file is missing or
+    unreadable and :class:`ValueError` when its contents are not a
+    bench artifact — callers (``repro bench --check-against``) turn
+    both into a one-line error and exit code 2.
     """
-    baseline = json.loads(Path(baseline_path).read_text())
+    baseline_path = Path(baseline_path)
+    try:
+        baseline = json.loads(baseline_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"malformed baseline {baseline_path}: {exc}") from exc
+    if not isinstance(baseline, dict) or not isinstance(
+        baseline.get("schedulers", {}), dict
+    ):
+        raise ValueError(
+            f"malformed baseline {baseline_path}: expected a BENCH_*.json "
+            'object with a "schedulers" table'
+        )
     failures: list[str] = []
     for name, row in bench.schedulers.items():
         base_row = baseline.get("schedulers", {}).get(name)
         if base_row is None:
             continue
+        if not isinstance(base_row, dict) or not isinstance(
+            base_row.get("mean_decision_time_s"), (int, float)
+        ):
+            raise ValueError(
+                f"malformed baseline {baseline_path}: scheduler {name!r} "
+                'row lacks a numeric "mean_decision_time_s"'
+            )
         base = base_row["mean_decision_time_s"]
         cur = row["mean_decision_time_s"]
         if base > 0 and cur > base * threshold:

@@ -7,6 +7,11 @@ Subcommands::
     repro compare --jobs N --machines M [...]      # all four policies
     repro topo --machine NAME [--matrix | --numactl]
     repro figures [--out DIR]                      # regenerate evaluation
+    repro serve [--port P --store FILE ...]        # scheduler service daemon
+    repro submit MANIFEST --url URL                # POST jobs to a daemon
+    repro cancel JOB_ID --url URL                  # cancel a submitted job
+    repro status --url URL [--job ID]              # job table / one job
+    repro replay [MANIFEST] --url URL              # drive a trace via the API
     repro trace summarize TRACE.jsonl [--job ID]   # decision timelines
     repro trace export TRACE.jsonl [--out F]       # Perfetto/Chrome JSON
     repro trace profile TRACE.jsonl [--top N]      # per-phase profiler
@@ -143,6 +148,62 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="fail when slower than this committed baseline")
     bench.add_argument("--threshold", type=float, default=3.0,
                        help="allowed slowdown vs the baseline (default 3.0x)")
+
+    serve = sub.add_parser(
+        "serve", help="run the scheduler service daemon (submission API)"
+    )
+    serve.add_argument("--machines", type=int, default=5)
+    serve.add_argument("--machine", choices=MACHINE_CHOICES,
+                       default="power8-minsky")
+    serve.add_argument("--scheduler", choices=SCHEDULER_CHOICES,
+                       type=lambda s: s.upper(), default="TOPO-AWARE")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="HTTP port (0 picks a free port)")
+    serve.add_argument("--store", type=Path, default=Path("repro_service.db"),
+                       help="sqlite journal (queue survives restarts); "
+                       "':memory:' disables durability")
+    serve.add_argument("--max-queue-depth", type=int, default=100_000,
+                       help="admission backpressure threshold")
+
+    submit = sub.add_parser(
+        "submit", help="submit a job manifest to a running daemon"
+    )
+    submit.add_argument("manifest", type=Path,
+                        help="JSON job manifest (repro.workload.manifest)")
+    submit.add_argument("--url", default="http://127.0.0.1:8642",
+                        help="daemon base URL")
+    submit.add_argument("--priority", type=int, default=0,
+                        help="feeding priority (higher drains first)")
+
+    cancel = sub.add_parser("cancel", help="cancel a job on a running daemon")
+    cancel.add_argument("job_id")
+    cancel.add_argument("--url", default="http://127.0.0.1:8642")
+
+    status = sub.add_parser(
+        "status", help="job table (or one job) from a running daemon"
+    )
+    status.add_argument("--url", default="http://127.0.0.1:8642")
+    status.add_argument("--job", default=None, help="only this job id")
+
+    replay = sub.add_parser(
+        "replay", help="replay a trace through the daemon's submission API"
+    )
+    replay.add_argument("manifest", type=Path, nargs="?", default=None,
+                        help="JSON job manifest (default: a generated "
+                        "fig10-style workload)")
+    replay.add_argument("--url", default="http://127.0.0.1:8642")
+    replay.add_argument("--jobs", type=int, default=100,
+                        help="generated-workload size (no manifest)")
+    replay.add_argument("--seed", type=int, default=42)
+    replay.add_argument("--arrival-rate", type=float, default=2.2)
+    replay.add_argument("--priority", type=int, default=0)
+    replay.add_argument("--live", action="store_true",
+                        help="submit against the running engine instead of "
+                        "pause/submit-all/resume")
+    replay.add_argument("--no-wait", action="store_true",
+                        help="do not wait for submitted jobs to finish")
+    replay.add_argument("--timeout", type=float, default=120.0,
+                        help="seconds to wait for terminal states")
 
     report = sub.add_parser(
         "report", help="generate the markdown reproduction report"
@@ -601,12 +662,178 @@ def _cmd_bench(args) -> int:
         path = write_bench(bench, args.out)
         print(f"bench artifact written to {path}")
     if args.check_against is not None:
-        failures = compare_to_baseline(bench, args.check_against, args.threshold)
+        try:
+            failures = compare_to_baseline(
+                bench, args.check_against, args.threshold
+            )
+        except (OSError, ValueError) as exc:
+            # missing or malformed baseline: one line, exit 2, no traceback
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         if failures:
             for line in failures:
                 print(f"REGRESSION: {line}", file=sys.stderr)
             return 1
         print(f"within {args.threshold:.1f}x of {args.check_against}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import signal
+    import threading
+
+    from repro.service import SchedulerService, ServiceServer
+
+    topo = _topology_factory(args)()
+    service = SchedulerService(
+        topo,
+        args.scheduler,
+        store_path=str(args.store),
+        max_queue_depth=args.max_queue_depth,
+    )
+    if service.recovered_jobs:
+        print(
+            f"recovered {service.recovered_jobs} unfinished job(s) "
+            f"from {args.store}"
+        )
+    stop = threading.Event()
+
+    def _on_signal(signum, frame):  # noqa: ARG001 - signal signature
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    service.start()
+    server = ServiceServer(service, port=args.port).start()
+    print(
+        f"scheduler service ({args.scheduler}) listening on {server.url}\n"
+        "verbs: POST /submit /cancel /pause /resume; "
+        "GET /jobs /jobs/<id> /state /metrics /healthz"
+    )
+    try:
+        while not stop.is_set():
+            stop.wait(0.5)
+    finally:
+        server.stop()
+        service.stop()
+    print("scheduler service stopped")
+    return 0
+
+
+def _service_client(url: str):
+    from repro.service.driver import ReplayError, _Client
+
+    return _Client(url), ReplayError
+
+
+def _cmd_submit(args) -> int:
+    from repro.workload.manifest import ManifestError, job_to_dict, load_manifest
+
+    try:
+        jobs = load_manifest(args.manifest)
+    except (OSError, ManifestError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    client, ReplayError = _service_client(args.url)
+    failures = 0
+    try:
+        for job in jobs:
+            body = job_to_dict(job)
+            if args.priority:
+                body["priority"] = args.priority
+            status, doc = client.request("POST", "/submit", body)
+            if status == 202:
+                print(f"{job.job_id}: {doc.get('state', 'SUBMITTED')}")
+            else:
+                failures += 1
+                reason = doc.get("rejected") or doc.get("error") or status
+                print(f"{job.job_id}: rejected ({reason})", file=sys.stderr)
+    except ReplayError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        client.close()
+    return 1 if failures else 0
+
+
+def _cmd_cancel(args) -> int:
+    client, ReplayError = _service_client(args.url)
+    try:
+        status, doc = client.request("POST", "/cancel", {"id": args.job_id})
+    except ReplayError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        client.close()
+    if status != 202:
+        print(f"error: {doc.get('error', status)}", file=sys.stderr)
+        return 1
+    print(f"{args.job_id}: cancellation requested (was {doc.get('state')})")
+    return 0
+
+
+def _cmd_status(args) -> int:
+    client, ReplayError = _service_client(args.url)
+    try:
+        if args.job is not None:
+            status, doc = client.request("GET", f"/jobs/{args.job}")
+            if status != 200:
+                print(f"error: {doc.get('error', status)}", file=sys.stderr)
+                return 1
+            print(f"{doc['id']}: {doc['state']}")
+            for key, value in sorted(doc.get("record", {}).items()):
+                print(f"{key:>18}: {value}")
+            return 0
+        status, doc = client.request("GET", "/jobs")
+        if status != 200:
+            print(f"error: GET /jobs answered {status}", file=sys.stderr)
+            return 1
+        jobs = doc.get("jobs", {})
+        counts: dict[str, int] = {}
+        for state in jobs.values():
+            counts[state] = counts.get(state, 0) + 1
+        print(
+            f"{len(jobs)} job(s), queue depth {doc.get('queue_depth')}"
+            + (" [paused]" if doc.get("paused") else "")
+        )
+        for state, n in sorted(counts.items()):
+            print(f"{state:>12}: {n}")
+        return 0
+    except ReplayError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        client.close()
+
+
+def _cmd_replay(args) -> int:
+    from repro.service.driver import ReplayError, replay_trace
+    from repro.workload.manifest import ManifestError, load_manifest
+
+    if args.manifest is not None:
+        try:
+            jobs = load_manifest(args.manifest)
+        except (OSError, ManifestError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        jobs = _generate(args)
+    try:
+        report = replay_trace(
+            jobs,
+            args.url,
+            pause=not args.live,
+            priority=args.priority,
+            wait=not args.no_wait,
+            timeout_s=args.timeout,
+        )
+    except ReplayError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.summary())
+    if not args.no_wait and not report.completed:
+        print("error: timed out waiting for terminal states", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -630,6 +857,11 @@ def main(argv: list[str] | None = None) -> int:
         "topo": _cmd_topo,
         "figures": _cmd_figures,
         "bench": _cmd_bench,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "cancel": _cmd_cancel,
+        "status": _cmd_status,
+        "replay": _cmd_replay,
         "report": _cmd_report,
         "trace": _cmd_trace,
     }

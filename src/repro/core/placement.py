@@ -53,7 +53,13 @@ class PlacementSolution:
 
 @dataclass
 class PlacementStats:
-    """Placement-memo effectiveness counters (exported via ``obs``)."""
+    """Placement-memo effectiveness counters (exported via ``obs``).
+
+    ``invalidations`` counts allocation-epoch rotations observed
+    between lookups — proposals that could not reuse the previous
+    lookup's pool state (entries themselves are keyed on pool identity
+    and survive rotations until the LRU evicts them).
+    """
 
     hits: int = 0
     misses: int = 0
@@ -84,12 +90,15 @@ class PlacementEngine:
     """Computes topology-aware placements over a live allocation state.
 
     ``memo_size`` bounds the propose memo: solved proposals (including
-    no-fit ``None`` results) are reused for equivalent jobs while the
-    allocation state is unchanged.  The memo is invalidated wholesale
-    whenever :attr:`AllocationState.version` moves (any allocate /
-    release / machine-health delta), so a hit can only ever replay a
-    decision the seed engine would recompute identically.  ``0``
-    disables memoisation entirely.
+    no-fit ``None`` results) are reused for equivalent jobs.  Every
+    input :meth:`propose` reads is part of the memo key — the job's
+    placement-equivalence fields, the *identity-precise* free pool
+    (:meth:`AllocationState.free_pool_key`: exact free GPU ids plus
+    machine health) and the co-runner allocations in iteration order —
+    so entries survive allocation epochs and are replayed only when
+    the cluster has returned to a state in which the seed engine would
+    recompute the identical answer.  Stale-pool entries age out of the
+    LRU naturally.  ``0`` disables memoisation entirely.
     """
 
     def __init__(
@@ -141,11 +150,12 @@ class PlacementEngine:
         Two proposals with equal keys are guaranteed the same answer:
         every job field :meth:`propose` reads is included (``job_id``,
         ``iterations``, ``min_utility``, ``arrival_time`` and ``tags``
-        are provably unread there), the free-pool signature pins the
-        capacity picture and the co-runner id set pins the
-        interference neighbourhood.  Allocation-epoch invalidation
-        already covers both snapshots; keeping them in the key is
-        defence in depth against callers mutating state out of band.
+        are provably unread there), the identity-precise pool key pins
+        exactly which GPUs are on offer, and the co-runner component
+        pins the interference neighbourhood — (id, gpus) pairs *in
+        iteration order*, because interference sums are floating-point
+        accumulations whose bit pattern depends on visit order, and a
+        job id names one immutable Job for the lifetime of a run.
         """
         return (
             job.model,
@@ -155,8 +165,8 @@ class PlacementEngine:
             job.anti_collocation,
             job.single_node,
             job.p2p,
-            self.alloc.free_pool_signature(),
-            frozenset(co_runners),
+            self.alloc.free_pool_key(),
+            tuple((job_id, gpus) for job_id, (_, gpus) in co_runners.items()),
         )
 
     def propose(
@@ -174,8 +184,10 @@ class PlacementEngine:
             return self._propose(job, co_runners)
         version = self.alloc.version
         if version != self._memo_version:
+            # the pool moved since the last lookup: count an epoch
+            # rotation (existing entries keep their identity keys and
+            # stay replayable should the pool return to that state)
             if self._memo:
-                self._memo.clear()
                 self.stats.invalidations += 1
             self._memo_version = version
         key = self._memo_key(job, co_runners)

@@ -19,6 +19,13 @@ publisher's snapshot slot and the watchdog's published state — so a
 scrape can never block or perturb the simulation thread; results stay
 bit-identical with the server attached (pinned by the fast-path A/B
 equivalence test).
+
+Routing is table-driven and overridable: subclasses (the scheduler
+service daemon) register additional GET routes and POST verbs via
+:meth:`IntrospectionServer.get_routes` / :meth:`post_routes` without
+re-implementing the HTTP plumbing.  Connections are HTTP/1.1 with
+keep-alive, so a replay driver can push thousands of submissions per
+second over a handful of sockets.
 """
 
 from __future__ import annotations
@@ -27,10 +34,88 @@ import json
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
 
 from repro.obs.export import render_prometheus
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.state import SnapshotPublisher
+
+#: (status code, body, content type) triple every route handler returns
+Response = tuple[int, str, str]
+
+JSON = "application/json"
+PROM = "text/plain; version=0.0.4; charset=utf-8"
+
+#: refuse request bodies beyond this (a submit manifest is ~500 bytes)
+MAX_BODY_BYTES = 1 << 20
+
+
+def json_response(code: int, doc: dict) -> Response:
+    return code, json.dumps(doc), JSON
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Stateless HTTP plumbing; all routing lives on the server object.
+
+    ``ThreadingHTTPServer`` instantiates one of these per connection;
+    ``self.server.owner`` points back at the
+    :class:`IntrospectionServer` that carries the route tables.
+    """
+
+    protocol_version = "HTTP/1.1"  # keep-alive: one socket, many verbs
+    # headers and body go out as separate writes; without TCP_NODELAY
+    # Nagle holds the second one hostage to the client's delayed ACK
+    # (~40 ms per request — three orders of magnitude off the replay
+    # driver's submission-rate target)
+    disable_nagle_algorithm = True
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # silence per-request stderr chatter
+
+    def do_GET(self) -> None:
+        path = self.path.split("?", 1)[0]
+        handler = self.server.owner.get_routes().get(path)
+        if handler is not None:
+            self._send(*handler())
+            return
+        response = self.server.owner.dispatch_get(path)
+        if response is None:
+            self._send(*json_response(404, {"error": f"no route {path}"}))
+        else:
+            self._send(*response)
+
+    def do_POST(self) -> None:
+        path = self.path.split("?", 1)[0]
+        handler = self.server.owner.post_routes().get(path)
+        if handler is None:
+            self._send(*json_response(404, {"error": f"no route {path}"}))
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            self._send(*json_response(400, {"error": "bad Content-Length"}))
+            return
+        if length > MAX_BODY_BYTES:
+            self._send(*json_response(413, {"error": "body too large"}))
+            return
+        raw = self.rfile.read(length) if length else b""
+        try:
+            body = json.loads(raw) if raw else {}
+        except ValueError:
+            self._send(*json_response(400, {"error": "body is not JSON"}))
+            return
+        if not isinstance(body, dict):
+            self._send(*json_response(400, {"error": "body must be an object"}))
+            return
+        self._send(*handler(body))
+
+    def _send(self, code: int, body: str, content_type: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
 
 
 class IntrospectionServer:
@@ -49,41 +134,40 @@ class IntrospectionServer:
         self.registry = registry
         self.watchdog = watchdog
         self._started_at = time.time()
-        outer = self
-
-        class Handler(BaseHTTPRequestHandler):
-            # one introspection server per process is the normal case;
-            # closing over `outer` keeps the handler stateless
-            def log_message(self, format, *args):  # noqa: A002 - stdlib signature
-                pass  # silence per-request stderr chatter
-
-            def do_GET(self) -> None:
-                path = self.path.split("?", 1)[0]
-                if path == "/metrics":
-                    self._send(200, outer.render_metrics(),
-                               "text/plain; version=0.0.4; charset=utf-8")
-                elif path == "/healthz":
-                    body, code = outer.render_health()
-                    self._send(code, body, "application/json")
-                elif path == "/state":
-                    self._send(200, outer.render_state(), "application/json")
-                elif path == "/alerts":
-                    self._send(200, outer.render_alerts(), "application/json")
-                else:
-                    self._send(404, json.dumps({"error": f"no route {path}"}),
-                               "application/json")
-
-            def _send(self, code: int, body: str, content_type: str) -> None:
-                payload = body.encode("utf-8")
-                self.send_response(code)
-                self.send_header("Content-Type", content_type)
-                self.send_header("Content-Length", str(len(payload)))
-                self.end_headers()
-                self.wfile.write(payload)
-
-        self._httpd = ThreadingHTTPServer((host, port), Handler)
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.owner = self  # route lookups go through this back-ref
         self._httpd.daemon_threads = True
         self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # routing tables (subclass extension point)
+    # ------------------------------------------------------------------
+    def get_routes(self) -> dict[str, Callable[[], Response]]:
+        """Path -> handler for GET; subclasses extend the dict."""
+        return {
+            "/metrics": lambda: (200, self.render_metrics(), PROM),
+            "/healthz": self._healthz,
+            "/state": lambda: (200, self.render_state(), JSON),
+            "/alerts": lambda: (200, self.render_alerts(), JSON),
+        }
+
+    def post_routes(self) -> dict[str, Callable[[dict], Response]]:
+        """Path -> handler for POST (handler receives the JSON body).
+
+        Empty in the read-only introspection server; the service
+        daemon's subclass adds its write verbs here.
+        """
+        return {}
+
+    def dispatch_get(self, path: str) -> Response | None:
+        """Fallback for GET paths missing from the route table —
+        subclasses implement parameterised routes (``/jobs/<id>``)
+        here.  ``None`` means 404."""
+        return None
+
+    def _healthz(self) -> Response:
+        body, code = self.render_health()
+        return code, body, JSON
 
     # ------------------------------------------------------------------
     # lifecycle

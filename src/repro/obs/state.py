@@ -26,8 +26,9 @@ from dataclasses import asdict, dataclass
 
 from repro.sim.hooks import BaseObserver
 
-#: snapshot document version served under ``/state``
-STATE_SCHEMA_VERSION = 1
+#: snapshot document version served under ``/state`` (2: job_states
+#: table added for service mode)
+STATE_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -54,6 +55,9 @@ class RunSnapshot:
     events_seen: int = 0
     finished: bool = False
     makespan: float = 0.0
+    #: service-mode job table: (job_id, lifecycle state) pairs from the
+    #: daemon's state machine; empty for plain one-shot simulations
+    job_states: tuple[tuple[str, str], ...] = ()
 
     def to_dict(self) -> dict:
         doc = asdict(self)
@@ -62,6 +66,7 @@ class RunSnapshot:
         doc["queued_jobs"] = list(self.queued_jobs)
         doc["free_gpus_by_machine"] = dict(self.free_gpus_by_machine)
         doc["placement_cache"] = dict(self.placement_cache)
+        doc["job_states"] = dict(self.job_states)
         return doc
 
 
@@ -111,12 +116,17 @@ class SnapshotObserver(BaseObserver):
         total_gpus: int | None = None,
         clock=time.time,
         min_publish_interval_s: float = 0.05,
+        job_states_source=None,
     ) -> None:
         self.publisher = publisher if publisher is not None else SnapshotPublisher()
         self.scheduler = scheduler
         self.total_gpus = total_gpus
         self.clock = clock
         self.min_publish_interval_s = min_publish_interval_s
+        #: optional callable returning ((job_id, state), ...) — the
+        #: service daemon points this at its state-machine table so
+        #: ``/state`` carries the full lifecycle view
+        self.job_states_source = job_states_source
         self._last_publish = float("-inf")
         self._events_seen = 0
         self._rounds = 0
@@ -136,6 +146,11 @@ class SnapshotObserver(BaseObserver):
 
     # ------------------------------------------------------------------
     def _build(self, *, finished: bool = False, makespan: float = 0.0) -> RunSnapshot:
+        job_states = (
+            tuple(self.job_states_source())
+            if self.job_states_source is not None
+            else ()
+        )
         cluster = self._cluster
         if cluster is None:
             return RunSnapshot(
@@ -145,6 +160,7 @@ class SnapshotObserver(BaseObserver):
                 events_seen=self._events_seen,
                 finished=finished,
                 makespan=makespan,
+                job_states=job_states,
             )
         alloc = cluster.alloc
         free_by_machine = tuple(
@@ -173,11 +189,20 @@ class SnapshotObserver(BaseObserver):
             events_seen=self._events_seen,
             finished=finished,
             makespan=makespan,
+            job_states=job_states,
         )
 
     def _publish(self, **kwargs) -> None:
         self._last_publish = self.clock()
         self.publisher.publish(self._build(**kwargs))
+
+    def publish_now(self) -> None:
+        """Force an immediate republish, bypassing the throttle.
+
+        The service daemon calls this when its loop goes idle, so
+        ``/state`` always reflects the settled system even when the
+        last burst finished inside one throttle window."""
+        self._publish()
 
     # ------------------------------------------------------------------
     # SimObserver hooks: count traffic, republish at round boundaries

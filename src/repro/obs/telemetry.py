@@ -42,6 +42,11 @@ from repro.sim.hooks import BaseObserver
 _UTILITY_BUCKETS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0)
 #: buckets for queueing delay (simulation seconds)
 _WAIT_BUCKETS = (0.0, 1.0, 5.0, 15.0, 30.0, 60.0, 120.0, 300.0, 600.0, 1800.0)
+#: buckets for daemon submission latency (wall seconds: the replay
+#: driver targets thousands of submissions/s, so sub-millisecond bins)
+_SUBMIT_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.05, 0.25, 1.0,
+)
 
 
 class TelemetryObserver(BaseObserver):
@@ -254,3 +259,67 @@ class TelemetryObserver(BaseObserver):
             queued=queued,
             elapsed_s=elapsed_s,
         )
+
+
+class ServiceTelemetry:
+    """Metric families for the scheduler service daemon.
+
+    Counts the *service-side* traffic — what crossed the submission API
+    and how the admission controller ruled — as opposed to
+    :class:`TelemetryObserver`'s simulation-side lifecycle families.
+    Shares the daemon's :class:`MetricsRegistry` so ``GET /metrics``
+    exports both in one scrape:
+
+    ==========================================  =========  ======================
+    name                                        type       meaning
+    ==========================================  =========  ======================
+    repro_service_submissions_total             counter    POST /submit requests
+    repro_service_admissions_total{decision}    counter    admitted / rejected-*
+    repro_service_cancellations_total{phase}    counter    cancels by job phase
+    repro_service_queue_depth                   gauge      jobs waiting (service)
+    repro_service_jobs{state}                   gauge      jobs per lifecycle state
+    repro_service_submission_latency_seconds    histogram  submit wall latency
+    ==========================================  =========  ======================
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        reg = self.registry
+        self._submissions = reg.counter(
+            "repro_service_submissions_total",
+            "Submission requests received by the daemon.")
+        self._admissions = reg.counter(
+            "repro_service_admissions_total",
+            "Admission-control decisions (admitted or a rejection reason).",
+            ("decision",))
+        self._cancellations = reg.counter(
+            "repro_service_cancellations_total",
+            "Cancellations applied, by the phase the job was caught in.",
+            ("phase",))
+        self._queue_depth = reg.gauge(
+            "repro_service_queue_depth",
+            "Jobs waiting in the service queue (admitted, not yet placed).")
+        self._jobs_by_state = reg.gauge(
+            "repro_service_jobs",
+            "Jobs currently in each lifecycle state.", ("state",))
+        self._submit_latency = reg.histogram(
+            "repro_service_submission_latency_seconds",
+            "Wall-clock latency of one submission (receipt to journaled).",
+            buckets=_SUBMIT_BUCKETS)
+
+    def submission(self, decision: str, latency_s: float) -> None:
+        """Record one POST /submit: its ruling and its wall latency."""
+        self._submissions.inc()
+        self._admissions.inc(decision=decision)
+        self._submit_latency.observe(latency_s)
+
+    def cancellation(self, phase: str) -> None:
+        self._cancellations.inc(phase=phase)
+
+    def set_queue_depth(self, depth: int) -> None:
+        self._queue_depth.set(depth)
+
+    def set_jobs_by_state(self, counts: dict) -> None:
+        for state, n in counts.items():
+            self._jobs_by_state.set(n, state=state)
+

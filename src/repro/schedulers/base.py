@@ -93,6 +93,17 @@ class Scheduler(abc.ABC):
     def _remove(self, job_id: str) -> None:
         self._queue = [e for e in self._queue if e.job_id != job_id]
 
+    def withdraw(self, job_id: str) -> bool:
+        """Drop a waiting job from the queue (the service cancel verb).
+
+        Returns whether the job was queued; postponement bookkeeping is
+        cleared so a resubmission under the same id starts fresh.
+        """
+        before = len(self._queue)
+        self._remove(job_id)
+        self.postponements.pop(job_id, None)
+        return len(self._queue) != before
+
     def _note_postponed(self, job_id: str) -> None:
         self.postponements[job_id] = self.postponements.get(job_id, 0) + 1
 

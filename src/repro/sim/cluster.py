@@ -160,6 +160,20 @@ class ClusterState:
         self.alloc.release(job_id)
         return run, self.machines_of(run.gpus)
 
+    def cancel(self, job_id: str) -> tuple[RunningJob, set[str]]:
+        """Kill a running job mid-flight: free its GPUs immediately.
+
+        Unlike :meth:`finish` the job may have arbitrary work left —
+        this is the service daemon's cancel verb, not a completion.
+        Any pending :class:`~repro.sim.events.Finish` event for the job
+        becomes stale automatically (its version no longer matches a
+        running job).  Returns the cancelled run and the touched
+        machines whose co-runner rates need refreshing.
+        """
+        run = self.running.pop(job_id)
+        self.alloc.release(job_id)
+        return run, self.machines_of(run.gpus)
+
     def is_stale_finish(self, job_id: str, version: int) -> bool:
         """True when a Finish event no longer matches the running job."""
         run = self.running.get(job_id)

@@ -18,6 +18,18 @@ progress rate is the inverse of its current interference slowdown
 factor, so finish times are re-derived whenever allocations change.
 Stale finish events are version-guarded.
 
+The event loop is *steppable*: :meth:`Simulator.start` arms the run,
+:meth:`Simulator.step` processes one batch of simultaneous events plus
+the decision round it triggers, and :meth:`Simulator.finish` builds
+the :class:`SimulationResult`.  :meth:`Simulator.run` composes the
+three exactly as the pre-refactor monolithic loop did (pinned by the
+golden-equivalence tests), while the scheduler service
+(:mod:`repro.service.daemon`) drives the same kernel externally:
+:meth:`Simulator.submit_job` feeds arrivals that were never part of a
+pre-generated trace and :meth:`Simulator.cancel_job` withdraws them
+again, so a one-shot batch replay and a long-running daemon share one
+event loop.
+
 ``JobRecord``, ``SimulationResult`` and ``MachineFailure`` are
 re-exported here for backwards compatibility; their homes are
 :mod:`repro.sim.records` and :mod:`repro.sim.events`.
@@ -101,6 +113,15 @@ class Simulator:
         for failure in self.failures:
             if failure.machine not in machines:
                 raise ValueError(f"failure names unknown machine {failure.machine!r}")
+        # steppable-run state, armed by start()
+        self._started = False
+        self._events: EventQueue | None = None
+        self._jobs_by_id: dict[str, Job] = {}
+        self._job_order: list[Job] = []
+        self._cancelled: set[str] = set()
+        self._records: RecordKeeper | None = None
+        self._accounting: DecisionAccounting | None = None
+        self._notify: CompositeObserver | None = None
 
     # ------------------------------------------------------------------
     # cluster-state views (back-compat with the pre-layered engine)
@@ -122,100 +143,211 @@ class Simulator:
         return self.cluster.engine
 
     # ------------------------------------------------------------------
-    def run(self) -> SimulationResult:
-        """Run to completion and return per-job records."""
-        cluster = self.cluster
-        scheduler = self.scheduler
-        records = RecordKeeper()
-        accounting = DecisionAccounting()
-        notify = CompositeObserver([records, accounting, *self.observers])
+    # steppable event loop
+    # ------------------------------------------------------------------
+    def start(self) -> "Simulator":
+        """Arm the event loop: register trace jobs, queue failures.
 
-        queue = EventQueue()
-        jobs_by_id: dict[str, Job] = {}
+        After ``start()`` the loop is driven either by :meth:`run`
+        (batch mode) or externally by :meth:`step` / :meth:`submit_job`
+        / :meth:`cancel_job` (service mode).
+        """
+        if self._started:
+            raise RuntimeError("Simulator.start() called twice")
+        self._started = True
+        self._records = RecordKeeper()
+        self._accounting = DecisionAccounting()
+        self._notify = CompositeObserver(
+            [self._records, self._accounting, *self.observers]
+        )
+        self._events = EventQueue()
         for job in self.jobs:
-            jobs_by_id[job.job_id] = job
-            records.register(job, cluster.ideal_exec_time(job))
-            queue.push(Arrival(job.arrival_time, job.job_id))
+            self._register(job)
         for failure in self.failures:
-            queue.push(Failure(failure.at_time, failure.machine))
+            self._events.push(Failure(failure.at_time, failure.machine))
             if failure.duration_s is not None:
-                queue.push(
+                self._events.push(
                     Recovery(failure.at_time + failure.duration_s, failure.machine)
                 )
+        return self
 
-        while queue:
-            t = queue.next_time()
-            cluster.advance_to(t)
-            touched: set[str] = set()
-            # drain all events at time t before scheduling
-            for event in queue.pop_due(t):
-                if isinstance(event, Arrival):
-                    job = jobs_by_id[event.job_id]
-                    scheduler.submit(job)
-                    notify.on_arrival(t, job)
-                elif isinstance(event, Finish):
-                    if cluster.is_stale_finish(event.job_id, event.version):
-                        continue
-                    run, machines = cluster.finish(event.job_id)
-                    touched |= machines
-                    notify.on_finish(t, run.job, run.gpus)
-                elif isinstance(event, Failure):
-                    victims, machines = cluster.fail_machine(event.machine)
-                    touched |= machines
-                    notify.on_failure(t, event.machine, [v.job for v in victims])
-                    for victim in victims:
-                        scheduler.submit(victim.job)
-                        notify.on_requeue(t, victim.job)
-                else:  # Recovery
-                    cluster.recover_machine(event.machine)
-            ctx = SchedulingContext(
-                topo=self.topo,
-                alloc=cluster.alloc,
-                engine=cluster.engine,
-                co_runners=cluster.co_runners(),
-                now=cluster.now,
-                cluster=cluster,
+    def _register(self, job: Job) -> None:
+        self._jobs_by_id[job.job_id] = job
+        self._job_order.append(job)
+        self._records.register(job, self.cluster.ideal_exec_time(job))
+        self._events.push(Arrival(job.arrival_time, job.job_id))
+
+    @property
+    def pending_events(self) -> int:
+        """Events still queued (0 means the loop is drained/idle)."""
+        return len(self._events) if self._events is not None else 0
+
+    def submit_job(self, job: Job) -> None:
+        """Feed one externally submitted job into the armed event loop.
+
+        The service daemon's write path: the job joins the record
+        keeper and an :class:`~repro.sim.events.Arrival` is queued at
+        its arrival time, exactly as a trace job would have been.  The
+        arrival must not lie in the simulated past (callers clamp to
+        ``cluster.now``).
+        """
+        if not self._started:
+            raise RuntimeError("submit_job() before start()")
+        if job.job_id in self._jobs_by_id:
+            raise ValueError(f"duplicate job id {job.job_id!r}")
+        if job.arrival_time < self.cluster.now:
+            raise ValueError(
+                f"job {job.job_id!r} arrives at {job.arrival_time:.6f}, "
+                f"before the simulated present {self.cluster.now:.6f}"
             )
-            t0 = self.decision_clock()
-            placements = scheduler.schedule(ctx)
-            elapsed = self.decision_clock() - t0
-            for solution in placements:
-                job = jobs_by_id[solution.job_id]
-                solo, machines = cluster.start(job, solution)
+        self._register(job)
+
+    def cancel_job(self, job_id: str) -> tuple[str, set[str]]:
+        """Withdraw a job from the loop; returns (phase, touched machines).
+
+        ``phase`` reports where the job was caught: ``"pending"`` (its
+        arrival event had not fired yet), ``"queued"`` (waiting in the
+        scheduler queue), or ``"running"`` (its GPUs were released —
+        the returned machines need a :meth:`run_round` so neighbours
+        speed back up and the freed slots are reoffered).  Raises
+        :class:`KeyError` for unknown or already-terminal jobs.
+        """
+        if not self._started:
+            raise RuntimeError("cancel_job() before start()")
+        if job_id not in self._jobs_by_id or job_id in self._cancelled:
+            raise KeyError(job_id)
+        if job_id in self.cluster.running:
+            self._cancelled.add(job_id)
+            _, touched = self.cluster.cancel(job_id)
+            return "running", touched
+        if self.scheduler.withdraw(job_id):
+            self._cancelled.add(job_id)
+            return "queued", set()
+        self._cancelled.add(job_id)  # arrival event still pending
+        return "pending", set()
+
+    def step(self) -> bool:
+        """Process the next batch of simultaneous events plus the
+        decision round it wakes; returns whether events remain."""
+        events = self._events
+        if not events:
+            return False
+        cluster = self.cluster
+        scheduler = self.scheduler
+        notify = self._notify
+        t = events.next_time()
+        cluster.advance_to(t)
+        touched: set[str] = set()
+        # drain all events at time t before scheduling
+        for event in events.pop_due(t):
+            if isinstance(event, Arrival):
+                if event.job_id in self._cancelled:
+                    continue  # cancelled before its arrival fired
+                job = self._jobs_by_id[event.job_id]
+                scheduler.submit(job)
+                notify.on_arrival(t, job)
+            elif isinstance(event, Finish):
+                if cluster.is_stale_finish(event.job_id, event.version):
+                    continue
+                run, machines = cluster.finish(event.job_id)
                 touched |= machines
-                notify.on_place(
-                    t,
-                    job,
-                    solution,
-                    solo,
-                    scheduler.postponements.get(job.job_id, 0),
-                )
-            notify.on_decision_round(
-                t, placements, scheduler.queue_length(), elapsed
-            )
-            for finish in cluster.refresh_rates(touched):
-                queue.push(finish)
-            if not queue and scheduler.queue_length() > 0:
-                if not cluster.running:
-                    # nothing can unblock the queue: mark unplaceable
-                    records.mark_unplaceable(
-                        job.job_id for job in scheduler.queued_jobs()
-                    )
-                    break
+                notify.on_finish(t, run.job, run.gpus)
+            elif isinstance(event, Failure):
+                victims, machines = cluster.fail_machine(event.machine)
+                touched |= machines
+                notify.on_failure(t, event.machine, [v.job for v in victims])
+                for victim in victims:
+                    scheduler.submit(victim.job)
+                    notify.on_requeue(t, victim.job)
+            else:  # Recovery
+                cluster.recover_machine(event.machine)
+        self.run_round(touched)
+        return bool(events)
 
-        record_list = [records.record_of(j.job_id) for j in self.jobs]
+    def run_round(self, touched: set[str] | frozenset[str] = frozenset()) -> int:
+        """One scheduler decision round at the simulated present.
+
+        ``touched`` carries machines whose co-runner rates must be
+        refreshed (finished/failed/cancelled allocations).  The service
+        daemon calls this directly after a cancel so freed capacity is
+        reoffered without waiting for the next event.  Returns the
+        number of placements enforced.
+        """
+        cluster = self.cluster
+        scheduler = self.scheduler
+        notify = self._notify
+        t = cluster.now
+        touched = set(touched)
+        ctx = SchedulingContext(
+            topo=self.topo,
+            alloc=cluster.alloc,
+            engine=cluster.engine,
+            co_runners=cluster.co_runners(),
+            now=t,
+            cluster=cluster,
+        )
+        t0 = self.decision_clock()
+        placements = scheduler.schedule(ctx)
+        elapsed = self.decision_clock() - t0
+        for solution in placements:
+            job = self._jobs_by_id[solution.job_id]
+            solo, machines = cluster.start(job, solution)
+            touched |= machines
+            notify.on_place(
+                t,
+                job,
+                solution,
+                solo,
+                scheduler.postponements.get(job.job_id, 0),
+            )
+        notify.on_decision_round(
+            t, placements, scheduler.queue_length(), elapsed
+        )
+        for finish in cluster.refresh_rates(touched):
+            self._events.push(finish)
+        return len(placements)
+
+    def finish(self) -> SimulationResult:
+        """Build the result for everything processed so far (pure)."""
+        record_list = [
+            self._records.record_of(j.job_id) for j in self._job_order
+        ]
         makespan = max(
             (r.finished_at for r in record_list if r.finished_at is not None),
             default=0.0,
         )
         return SimulationResult(
-            scheduler_name=scheduler.name,
+            scheduler_name=self.scheduler.name,
             records=record_list,
             makespan=makespan,
-            decision_time_s=accounting.decision_time_s,
-            decision_rounds=accounting.rounds,
-            placement_stats=cluster.engine.stats.as_dict(),
+            decision_time_s=self._accounting.decision_time_s,
+            decision_rounds=self._accounting.rounds,
+            placement_stats=self.cluster.engine.stats.as_dict(),
         )
+
+    def record_of(self, job_id: str) -> JobRecord:
+        """Live per-job record (service read side)."""
+        return self._records.record_of(job_id)
+
+    def mark_unplaceable(self, job_ids: Iterable[str]) -> None:
+        """Flag queued jobs nothing can unblock (drained loop, idle
+        cluster) — the service daemon's analogue of :meth:`run`'s
+        stuck-queue exit."""
+        self._records.mark_unplaceable(job_ids)
+
+    def run(self) -> SimulationResult:
+        """Run to completion and return per-job records."""
+        self.start()
+        while self._events:
+            self.step()
+            if not self._events and self.scheduler.queue_length() > 0:
+                if not self.cluster.running:
+                    # nothing can unblock the queue: mark unplaceable
+                    self.mark_unplaceable(
+                        job.job_id for job in self.scheduler.queued_jobs()
+                    )
+                    break
+        return self.finish()
 
 
 def __getattr__(name: str):

@@ -54,6 +54,8 @@ class AllocationState:
         self._down_machines: set[str] = set()
         self._signature: tuple | None = None
         self._signature_version = -1
+        self._pool_key: tuple | None = None
+        self._pool_key_version = -1
 
     # ------------------------------------------------------------------
     # mutation
@@ -172,6 +174,27 @@ class AllocationState:
             self._signature_version = self.version
         return self._signature
 
+    def free_pool_key(self) -> tuple:
+        """Identity-precise snapshot of the effective free pool.
+
+        Unlike :meth:`free_pool_signature` (free *counts* per machine)
+        this pins the exact set of free GPU ids plus machine health, so
+        two states with an equal key offer byte-for-byte the same
+        placement candidates.  It is what lets the placement memo keep
+        entries *across* allocation epochs: an entry keyed on the pool
+        identity can only ever be replayed against the identical pool.
+        Cached per :attr:`version`; the frozensets hash once and reuse
+        the stored hash on every memo lookup.
+        """
+        if self._pool_key_version != self.version:
+            owner = self._gpu_owner
+            self._pool_key = (
+                frozenset(g for g in self._all_gpus if g not in owner),
+                frozenset(self._down_machines),
+            )
+            self._pool_key_version = self.version
+        return self._pool_key
+
     # ------------------------------------------------------------------
     # machine health (failure injection)
     # ------------------------------------------------------------------
@@ -179,19 +202,30 @@ class AllocationState:
         """Mark a machine failed; returns the jobs it was running.
 
         The caller (the simulator) is responsible for releasing and
-        resubmitting those jobs.
+        resubmitting those jobs.  Marking an already-down machine down
+        again (a repeated failure heartbeat) changes nothing, so it
+        does not bump the epoch — derived caches stay warm.
         """
         if machine not in self._free_count:
             raise AllocationError(f"unknown machine {machine!r}")
-        self._down_machines.add(machine)
-        self.version += 1
+        if machine not in self._down_machines:
+            self._down_machines.add(machine)
+            self.version += 1
         return sorted(self._jobs_by_machine[machine])
 
     def set_machine_up(self, machine: str) -> None:
+        """Bring a machine (back) into service.
+
+        A liveness heartbeat for a machine that is already up is a
+        no-op and must not bump the epoch: a long-running daemon
+        re-asserting machine health every few seconds would otherwise
+        invalidate the placement memo without changing the free pool.
+        """
         if machine not in self._free_count:
             raise AllocationError(f"unknown machine {machine!r}")
-        self._down_machines.discard(machine)
-        self.version += 1
+        if machine in self._down_machines:
+            self._down_machines.discard(machine)
+            self.version += 1
 
     def is_machine_up(self, machine: str) -> bool:
         return machine not in self._down_machines

@@ -103,6 +103,21 @@ def _job_to_dict(job: Job) -> dict[str, Any]:
     return out
 
 
+def job_from_dict(entry: dict[str, Any], index: int = 0) -> Job:
+    """Parse one manifest-format job object (the service submit body).
+
+    Same validation as a manifest entry: required keys, unknown-key
+    rejection, typed coercions.  Raises :class:`ManifestError`.
+    """
+    return _job_from_dict(entry, index)
+
+
+def job_to_dict(job: Job) -> dict[str, Any]:
+    """Serialise one job to its manifest object (round-trips with
+    :func:`job_from_dict`; used by the service store and API)."""
+    return _job_to_dict(job)
+
+
 def loads_manifest(text: str) -> list[Job]:
     """Parse a manifest JSON string into jobs sorted by arrival time."""
     try:

@@ -8,6 +8,7 @@ import pytest
 
 from repro.analysis.bench import (
     BenchResult,
+    check_equivalence,
     compare_to_baseline,
     format_bench,
     run_bench,
@@ -44,6 +45,16 @@ class TestRunBench:
     def test_equivalence_verified_by_default(self, tiny_bench):
         assert tiny_bench.equivalence is not None
         assert tiny_bench.equivalence["identical"] is True
+
+    def test_fig10_equivalence_has_nonzero_memo_hits(self):
+        # full Fig. 10 scale: cross-epoch identity keying must actually
+        # replay entries (the pool recurs, e.g. empty cluster between
+        # bursts) while staying bit-identical to the cold engine
+        from repro.analysis.scenarios import scenario1_jobs
+
+        eq = check_equivalence(scenario1_jobs(100, seed=42), 5)
+        assert eq["identical"] is True
+        assert eq["memo_stats"]["hits"] > 0
 
     def test_unknown_scale_rejected(self):
         with pytest.raises(ValueError, match="unknown scale"):

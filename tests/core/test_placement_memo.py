@@ -1,8 +1,10 @@
 """Placement-memo behaviour: hits, invalidation, bounds, equivalence.
 
 The memo must be an invisible optimisation: every answer it replays
-has to be field-for-field what a cold engine would compute, and any
-allocation-state delta must flush it.
+has to be field-for-field what a cold engine would compute.  Entries
+are keyed on the identity-precise free pool, so a changed pool misses
+while a pool that *returns* to a previously seen state replays the
+warm answer across allocation epochs.
 """
 
 from __future__ import annotations
@@ -101,6 +103,63 @@ class TestInvalidation:
         engine.enforce(solution)
         engine.propose(make_job("b", num_gpus=2))
         assert engine.stats.misses == 2 and engine.stats.hits == 0
+
+
+class TestCrossEpochReplay:
+    """Entries survive epoch rotations: a pool that returns to a
+    previously seen identity replays the warm answer."""
+
+    def test_release_back_to_seen_pool_hits(self, minsky):
+        alloc = AllocationState(minsky)
+        engine = PlacementEngine(minsky, alloc)
+        engine.propose(make_job("a", num_gpus=2))
+        alloc.allocate("other", minsky.gpus()[:1])
+        alloc.release("other")  # pool identity restored
+        second = engine.propose(make_job("b", num_gpus=2))
+        assert engine.stats.hits == 1 and engine.stats.misses == 1
+        assert second.job_id == "b"
+
+    def test_heartbeat_keeps_memo_warm(self):
+        topo = cluster(2)
+        alloc = AllocationState(topo)
+        engine = PlacementEngine(topo, alloc)
+        engine.propose(make_job("a", num_gpus=2))
+        alloc.set_machine_up(topo.machines()[0])  # health no-op
+        engine.propose(make_job("b", num_gpus=2))
+        assert engine.stats.hits == 1
+        assert engine.stats.invalidations == 0
+
+    def test_different_pool_identity_misses_even_at_equal_counts(self):
+        # same free *count* but different free *GPUs*: must miss, the
+        # seed engine would compute over a different candidate pool
+        topo = cluster(2)
+        alloc = AllocationState(topo)
+        engine = PlacementEngine(topo, alloc)
+        gpus = topo.gpus(machine=topo.machines()[0])
+        alloc.allocate("x", gpus[:1])
+        engine.propose(make_job("a", num_gpus=2))
+        alloc.release("x")
+        alloc.allocate("y", gpus[1:2])
+        engine.propose(make_job("b", num_gpus=2))
+        assert engine.stats.hits == 0 and engine.stats.misses == 2
+
+    def test_co_runner_order_is_part_of_the_key(self, minsky):
+        # interference sums are float accumulations: visiting co-runners
+        # in a different order may change the bit pattern, so order is
+        # pinned in the key and a reordered view must miss
+        alloc = AllocationState(minsky)
+        engine = PlacementEngine(minsky, alloc)
+        gpus = minsky.gpus()
+        alloc.allocate("r1", gpus[:1])
+        alloc.allocate("r2", gpus[1:2])
+        co = {
+            "r1": (make_job("r1", num_gpus=1), frozenset(gpus[:1])),
+            "r2": (make_job("r2", num_gpus=1), frozenset(gpus[1:2])),
+        }
+        rev = {k: co[k] for k in reversed(list(co))}
+        engine.propose(make_job("a", num_gpus=2), co)
+        engine.propose(make_job("b", num_gpus=2), rev)
+        assert engine.stats.hits == 0 and engine.stats.misses == 2
 
 
 class TestBounds:

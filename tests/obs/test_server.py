@@ -11,7 +11,12 @@ from repro.analysis.scenarios import table1_jobs
 from repro.obs import EventLog, MetricsRegistry
 from repro.obs.alerts import Rule, Watchdog
 from repro.obs.server import IntrospectionServer
-from repro.obs.state import RunSnapshot, SnapshotObserver, SnapshotPublisher
+from repro.obs.state import (
+    RunSnapshot,
+    STATE_SCHEMA_VERSION,
+    SnapshotObserver,
+    SnapshotPublisher,
+)
 from repro.obs.telemetry import TelemetryObserver
 from repro.schedulers import make_scheduler
 from repro.sim.runner import run_with_observers
@@ -61,7 +66,7 @@ class TestHTTP:
 
         status, _, body = fetch(server.url + "/state")
         state = json.loads(body)
-        assert state["schema"] == 1
+        assert state["schema"] == STATE_SCHEMA_VERSION
         assert state["finished"] is True
         assert state["makespan"] == pytest.approx(result.makespan)
         assert state["total_gpus"] == 4

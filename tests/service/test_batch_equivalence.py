@@ -1,0 +1,68 @@
+"""Golden batch-equivalence: daemon replay == one-shot simulate.
+
+The service's core correctness guarantee (ISSUE acceptance criterion):
+a trace pushed through the real HTTP API in paused mode, then resumed
+and drained, produces **byte-identical** job records to a one-shot
+``repro simulate`` of the same manifest.  Compared field-by-field with
+``==`` over every measured record field — floats included, no
+tolerance.
+"""
+
+import pytest
+
+from repro.analysis.bench import RECORD_FIELDS, _records_identical
+from repro.analysis.scenarios import scenario1_jobs
+from repro.schedulers import make_scheduler
+from repro.service import SchedulerService, ServiceServer, replay_trace
+from repro.sim.engine import Simulator
+from repro.topology.builders import cluster
+
+
+@pytest.mark.parametrize("scheduler_name", ["TOPO-AWARE", "FCFS"])
+def test_daemon_replay_matches_one_shot_bit_identically(scheduler_name):
+    jobs = scenario1_jobs(100, seed=42)
+
+    one_shot = Simulator(
+        cluster(5), make_scheduler(scheduler_name), list(jobs)
+    ).run()
+
+    service = SchedulerService(cluster(5), scheduler_name)
+    with service, ServiceServer(service) as server:
+        report = replay_trace(jobs, server.url, pause=True, wait=True)
+        assert report.submitted == len(jobs)
+        assert report.rejected == {}
+        assert report.completed
+        assert service.drain()
+        daemon = service.result()
+
+    assert len(daemon.records) == len(one_shot.records)
+    assert _records_identical(daemon, one_shot), _first_diff(
+        daemon, one_shot
+    )
+
+
+def test_live_mode_completes_the_whole_trace():
+    """Unpaused submissions race the engine: no bit-identical claim,
+    but every job must still terminate (arrival clamping at work)."""
+    jobs = scenario1_jobs(40, seed=7)
+    service = SchedulerService(cluster(5), "TOPO-AWARE")
+    with service, ServiceServer(service) as server:
+        report = replay_trace(jobs, server.url, pause=False, wait=True)
+        assert report.submitted == len(jobs)
+        assert report.completed
+        assert set(report.final_states.values()) <= {
+            "FINISHED",
+            "CANCELLED",
+            "FAILED",
+        }
+
+
+def _first_diff(a, b) -> str:
+    for ra, rb in zip(a.records, b.records):
+        if ra.job.job_id != rb.job.job_id:
+            return f"record order diverges at {ra.job.job_id}/{rb.job.job_id}"
+        for name in RECORD_FIELDS:
+            va, vb = getattr(ra, name), getattr(rb, name)
+            if va != vb:
+                return f"{ra.job.job_id}.{name}: daemon={va!r} one-shot={vb!r}"
+    return "lengths differ"

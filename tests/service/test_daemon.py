@@ -1,0 +1,256 @@
+"""Scheduler service daemon: API semantics, HTTP verbs, recovery."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import SchedulerService, ServiceServer
+from repro.service.statemachine import JobState
+from repro.topology.builders import cluster
+from repro.workload.job import Job, ModelType
+from repro.workload.manifest import ManifestError, job_to_dict
+
+
+def make_job(job_id: str, num_gpus: int = 2, **kwargs) -> Job:
+    return Job(job_id, ModelType.ALEXNET, 4, num_gpus, **kwargs)
+
+
+def submit_doc(job_id: str, num_gpus: int = 2, **kwargs) -> dict:
+    return job_to_dict(make_job(job_id, num_gpus, **kwargs))
+
+
+@pytest.fixture
+def service(tmp_path):
+    svc = SchedulerService(
+        cluster(2), "TOPO-AWARE", store_path=str(tmp_path / "svc.db")
+    )
+    with svc:
+        yield svc
+
+
+class TestSubmitAndRun:
+    def test_submission_runs_to_finished(self, service):
+        result = service.submit(submit_doc("a"))
+        assert result.decision.admitted
+        assert result.state == "SUBMITTED"
+        assert service.drain()
+        assert service.lifecycle.state("a") is JobState.FINISHED
+        doc = service.job_status("a")
+        assert doc["state"] == "FINISHED"
+        assert doc["record"]["finished_at"] > doc["record"]["arrival"]
+        assert len(doc["record"]["gpus"]) == 2
+
+    def test_rejections(self, service):
+        service.submit(submit_doc("a"))
+        assert service.submit(submit_doc("a")).decision.reason == "duplicate"
+        # cluster(2) = 2 minsky machines = 8 GPUs
+        over = service.submit(submit_doc("big", num_gpus=9))
+        assert over.decision.reason == "over-capacity"
+        with pytest.raises(ManifestError):
+            service.submit({"id": "bad", "model": "resnet-50", "num_gpus": 2})
+
+    def test_queue_full_backpressure(self, tmp_path):
+        svc = SchedulerService(
+            cluster(2),
+            "TOPO-AWARE",
+            store_path=str(tmp_path / "svc.db"),
+            max_queue_depth=1,
+        )
+        with svc:
+            svc.pause()
+            assert svc.submit(submit_doc("a")).decision.admitted
+            assert svc.submit(submit_doc("b")).decision.reason == "queue-full"
+
+    def test_journal_records_the_full_lifecycle(self, service):
+        service.submit(submit_doc("a"))
+        assert service.drain()
+        hops = [
+            (frm, to) for _, frm, to, _ in service.store.transitions("a")
+        ]
+        assert hops == [
+            (None, "SUBMITTED"),
+            ("SUBMITTED", "QUEUED"),
+            ("QUEUED", "PLACED"),
+            ("PLACED", "RUNNING"),
+            ("RUNNING", "FINISHED"),
+        ]
+
+
+class TestCancel:
+    def test_cancel_unknown_raises(self, service):
+        with pytest.raises(KeyError):
+            service.cancel("ghost")
+
+    def test_cancel_terminal_raises(self, service):
+        service.submit(submit_doc("a"))
+        assert service.drain()
+        with pytest.raises(ValueError):
+            service.cancel("a")
+
+    def test_cancel_while_paused_reaches_cancelled(self, service):
+        service.pause()
+        service.submit(submit_doc("a"))
+        assert service.drain()  # inbox applied, engine not stepped
+        seen = service.cancel("a")
+        assert seen == "SUBMITTED"
+        assert service.drain()
+        assert service.lifecycle.state("a") is JobState.CANCELLED
+        assert service.queue.depth == 0
+        service.resume()
+        assert service.drain()
+        assert service.lifecycle.state("a") is JobState.CANCELLED
+
+
+class TestPauseResume:
+    def test_paused_engine_holds_submissions(self, service):
+        service.pause()
+        assert service.paused
+        service.submit(submit_doc("a"))
+        assert service.drain()
+        # applied to the engine but never stepped: still SUBMITTED
+        assert service.lifecycle.state("a") is JobState.SUBMITTED
+        service.resume()
+        assert service.drain()
+        assert service.lifecycle.state("a") is JobState.FINISHED
+
+
+class TestStuckQueue:
+    def test_unplaceable_job_fails_loudly(self, service):
+        # 8 GPUs exist cluster-wide but no single machine has 8: a
+        # single-node job can never place — the daemon must FAIL it,
+        # mirroring the one-shot run loop's exit rule
+        service.submit(submit_doc("wide", num_gpus=8, single_node=True))
+        assert service.drain()
+        assert service.lifecycle.state("wide") is JobState.FAILED
+        assert service.job_status("wide")["record"]["unplaceable"] is True
+        assert service.queue.depth == 0
+
+
+class TestRestartRecovery:
+    def test_killed_daemon_resumes_its_queue(self, tmp_path):
+        path = str(tmp_path / "svc.db")
+        first = SchedulerService(cluster(2), "TOPO-AWARE", store_path=path)
+        with first:
+            first.submit(submit_doc("done"))
+            first.drain()
+            assert first.lifecycle.state("done") is JobState.FINISHED
+            first.pause()  # hold the engine so nothing else completes
+            for i in range(5):
+                first.submit(submit_doc(f"j{i}"))
+            first.drain()
+        # `with` exit = stop(): the paused jobs j0..j4 died non-terminal
+        second = SchedulerService(cluster(2), "TOPO-AWARE", store_path=path)
+        assert second.recovered_jobs == 5
+        with second:
+            assert second.drain(timeout_s=60.0)
+            for i in range(5):
+                assert second.lifecycle.state(f"j{i}") is JobState.FINISHED
+            # terminal ids from the previous life stay reserved
+            assert (
+                second.submit(submit_doc("done")).decision.reason
+                == "duplicate"
+            )
+
+
+# ----------------------------------------------------------------------
+# the HTTP face
+# ----------------------------------------------------------------------
+def http(method: str, url: str, body: dict | None = None):
+    data = None if body is None else json.dumps(body).encode()
+    request = urllib.request.Request(
+        url,
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as resp:
+            return resp.status, json.loads(resp.read() or b"{}")
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read() or b"{}")
+
+
+@pytest.fixture
+def served(service):
+    with ServiceServer(service) as server:
+        yield service, server.url
+
+
+class TestHTTPVerbs:
+    def test_submit_cancel_jobs_roundtrip(self, served):
+        service, url = served
+        service.pause()
+        code, doc = http("POST", f"{url}/submit", submit_doc("a"))
+        assert (code, doc) == (202, {"id": "a", "state": "SUBMITTED"})
+        code, doc = http("GET", f"{url}/jobs")
+        assert code == 200
+        assert doc["jobs"] == {"a": "SUBMITTED"}
+        assert doc["queue_depth"] == 1 and doc["paused"] is True
+        code, doc = http("POST", f"{url}/cancel", {"id": "a"})
+        assert code == 202
+        assert service.drain()
+        code, doc = http("GET", f"{url}/jobs/a")
+        assert code == 200 and doc["state"] == "CANCELLED"
+
+    def test_rejection_status_codes(self, served):
+        service, url = served
+        service.pause()
+        http("POST", f"{url}/submit", submit_doc("a"))
+        assert http("POST", f"{url}/submit", submit_doc("a"))[0] == 409
+        assert (
+            http("POST", f"{url}/submit", submit_doc("big", num_gpus=9))[0]
+            == 422
+        )
+        code, doc = http(
+            "POST", f"{url}/submit", {"id": "bad", "model": "nope"}
+        )
+        assert code == 400 and "error" in doc
+
+    def test_queue_full_is_429(self, tmp_path):
+        svc = SchedulerService(
+            cluster(2),
+            "TOPO-AWARE",
+            store_path=str(tmp_path / "svc.db"),
+            max_queue_depth=1,
+        )
+        with svc, ServiceServer(svc) as server:
+            svc.pause()
+            http("POST", f"{server.url}/submit", submit_doc("a"))
+            assert (
+                http("POST", f"{server.url}/submit", submit_doc("b"))[0]
+                == 429
+            )
+
+    def test_cancel_error_codes(self, served):
+        service, url = served
+        assert http("POST", f"{url}/cancel", {"id": "ghost"})[0] == 404
+        assert http("POST", f"{url}/cancel", {})[0] == 400
+        http("POST", f"{url}/submit", submit_doc("a"))
+        assert service.drain()
+        assert http("POST", f"{url}/cancel", {"id": "a"})[0] == 409
+
+    def test_unknown_job_route_404(self, served):
+        _, url = served
+        assert http("GET", f"{url}/jobs/ghost")[0] == 404
+        assert http("GET", f"{url}/nope")[0] == 404
+
+    def test_pause_resume_verbs(self, served):
+        service, url = served
+        assert http("POST", f"{url}/pause") == (200, {"paused": True})
+        assert service.paused
+        assert http("POST", f"{url}/resume") == (200, {"paused": False})
+        assert not service.paused
+
+    def test_metrics_and_state_carry_service_families(self, served):
+        service, url = served
+        http("POST", f"{url}/submit", submit_doc("a"))
+        assert service.drain()
+        with urllib.request.urlopen(f"{url}/metrics", timeout=10) as resp:
+            text = resp.read().decode()
+        assert "repro_service_submissions_total" in text
+        assert "repro_service_submission_latency_seconds" in text
+        code, doc = http("GET", f"{url}/state")
+        assert code == 200
+        assert dict(doc["job_states"]) == {"a": "FINISHED"}

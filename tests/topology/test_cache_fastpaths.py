@@ -143,6 +143,40 @@ class TestAllocationEpochs:
         alloc.set_machine_up(down)
         assert alloc.version == v0 + 4
 
+    def test_health_heartbeats_do_not_bump_version(self):
+        # a daemon re-asserting machine health must not rotate the
+        # epoch: the effective pool is unchanged, caches stay warm
+        topo = cluster(2)
+        alloc = AllocationState(topo)
+        up = topo.machines()[0]
+        v0 = alloc.version
+        alloc.set_machine_up(up)  # already up
+        assert alloc.version == v0
+        alloc.set_machine_down(up)
+        v1 = alloc.version
+        assert v1 == v0 + 1
+        assert alloc.set_machine_down(up) == []  # already down
+        assert alloc.version == v1
+        alloc.set_machine_up(up)
+        assert alloc.version == v1 + 1
+
+    def test_pool_key_pins_identity_and_health(self):
+        topo = cluster(2)
+        alloc = AllocationState(topo)
+        key0 = alloc.free_pool_key()
+        assert alloc.free_pool_key() is key0  # cached per version
+        held = topo.gpus()[:1]
+        alloc.allocate("j", held)
+        key1 = alloc.free_pool_key()
+        assert key1 != key0
+        assert held[0] not in key1[0]
+        alloc.release("j")
+        # identical pool again: key compares equal across epochs
+        assert alloc.free_pool_key() == key0
+        down = topo.machines()[1]
+        alloc.set_machine_down(down)
+        assert down in alloc.free_pool_key()[1]
+
     def test_reads_do_not_bump_version(self):
         topo = cluster(2)
         alloc = AllocationState(topo)
