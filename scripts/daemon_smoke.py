@@ -14,8 +14,14 @@ would:
   of an unknown id 404;
 * ``GET /jobs`` lists every id with a terminal state, ``GET /metrics``
   carries the service metric families;
+* ``GET /decisions`` reports at least one recorded decision,
+  ``GET /explain/smoke-1`` shows a ``placed`` verdict plus the
+  lifecycle state, and one ``decision`` event is read off the
+  ``GET /events`` SSE stream (``Last-Event-ID: 0`` replay);
 * ``SIGTERM`` shuts the daemon down cleanly (exit 0, the stop line on
-  stdout) and the sqlite journal holds the full lifecycle history.
+  stdout), the sqlite journal holds the full lifecycle history, and
+  the streamed SSE decision byte-matches the ``--decisions-out``
+  journal record with the same ``seq``.
 
 Budget: well under 30 s.
 
@@ -34,7 +40,9 @@ import sys
 import tempfile
 import time
 import urllib.error
+import urllib.parse
 import urllib.request
+from http.client import HTTPConnection
 
 LISTEN_RE = re.compile(r"listening on (http://\S+)")
 
@@ -59,11 +67,43 @@ def http(method: str, url: str, body: dict | None = None) -> tuple[int, dict]:
         return exc.code, json.loads(exc.read() or b"{}")
 
 
+def read_sse_decision(url: str, timeout_s: float) -> tuple[int, str]:
+    """Stream ``/events`` from seq 0 and return the first decision
+    frame as ``(seq, data_line)``."""
+    parsed = urllib.parse.urlsplit(url)
+    conn = HTTPConnection(parsed.hostname, parsed.port, timeout=timeout_s)
+    try:
+        conn.request("GET", "/events", headers={"Last-Event-ID": "0"})
+        resp = conn.getresponse()
+        if resp.status != 200:
+            fail(f"/events answered {resp.status}")
+        frame: dict = {}
+        deadline = time.time() + timeout_s
+        while time.time() < deadline:
+            line = resp.readline().decode("utf-8").rstrip("\n")
+            if line.startswith(":"):
+                continue  # keep-alive comment
+            if line:
+                key, _, value = line.partition(": ")
+                frame[key] = value
+                continue
+            if frame.get("event") == "decision":
+                return int(frame["id"]), frame["data"]
+            frame = {}
+        fail("no decision event on the SSE stream")
+    finally:
+        conn.close()
+    raise AssertionError("unreachable")
+
+
 def main() -> None:
-    store = os.path.join(tempfile.mkdtemp(prefix="repro-daemon-"), "svc.db")
+    tmpdir = tempfile.mkdtemp(prefix="repro-daemon-")
+    store = os.path.join(tmpdir, "svc.db")
+    decisions_path = os.path.join(tmpdir, "decisions.jsonl")
     proc = subprocess.Popen(
         [sys.executable, "-m", "repro.cli", "serve",
-         "--machines", "2", "--port", "0", "--store", store],
+         "--machines", "2", "--port", "0", "--store", store,
+         "--decisions-out", decisions_path],
         stdout=subprocess.PIPE,
         stderr=subprocess.PIPE,
         text=True,
@@ -136,6 +176,22 @@ def main() -> None:
             if family not in metrics:
                 fail(f"/metrics missing family {family}")
 
+        # -- decision provenance over HTTP -----------------------------
+        status, doc = http("GET", url + "/decisions")
+        if status != 200 or not doc.get("enabled"):
+            fail(f"/decisions answered {status}: {doc}")
+        if doc.get("recorded", 0) < 1:
+            fail(f"/decisions recorded nothing: {doc}")
+        status, doc = http("GET", url + "/explain/smoke-1")
+        if status != 200 or doc.get("count", 0) < 1:
+            fail(f"/explain/smoke-1 answered {status}: {doc}")
+        verdicts = [d.get("verdict") for d in doc.get("decisions", [])]
+        if "placed" not in verdicts:
+            fail(f"/explain/smoke-1 shows no placed verdict: {verdicts}")
+        if doc.get("state") != "FINISHED":
+            fail(f"/explain/smoke-1 lacks lifecycle state: {doc}")
+        streamed_seq, streamed_line = read_sse_decision(url, 10.0)
+
         # -- clean SIGTERM shutdown ------------------------------------
         proc.send_signal(signal.SIGTERM)
         out, err = proc.communicate(timeout=30)
@@ -156,13 +212,30 @@ def main() -> None:
                     ("RUNNING", "FINISHED")]
         if hops != expected:
             fail(f"journal history wrong: {hops}")
+
+        # -- SSE payload byte-matches the decisions journal ------------
+        with open(decisions_path) as fp:
+            by_seq = {
+                json.loads(line)["seq"]: line.rstrip("\n")
+                for line in fp
+                if line.strip()
+            }
+        if not by_seq:
+            fail(f"{decisions_path} is empty after shutdown")
+        if by_seq.get(streamed_seq) != streamed_line:
+            fail(
+                f"SSE decision seq {streamed_seq} does not byte-match "
+                f"the journal: {streamed_line!r} vs "
+                f"{by_seq.get(streamed_seq)!r}"
+            )
     finally:
         if proc.poll() is None:
             proc.kill()
 
     print(
         "daemon smoke OK: submit -> FINISHED over HTTP, rejection codes "
-        "409/422, cancel codes 409/404, clean SIGTERM, journal holds "
+        "409/422, cancel codes 409/404, /decisions + /explain live, SSE "
+        "decision byte-matches the journal, clean SIGTERM, journal holds "
         f"{len(expected)} lifecycle hops"
     )
 

@@ -103,6 +103,7 @@ def _run_once(
     scheduler_name: str,
     *,
     memo_size: int | None = None,
+    recorder=None,
 ) -> tuple[SimulationResult, float]:
     """One simulation on a fresh topology; returns (result, wall s)."""
     topo = cluster(n_machines)
@@ -110,7 +111,11 @@ def _run_once(
     if memo_size is not None:
         state.engine.memo_size = memo_size
     sim = Simulator(
-        topo, make_scheduler(scheduler_name), list(jobs), cluster=state
+        topo,
+        make_scheduler(scheduler_name),
+        list(jobs),
+        cluster=state,
+        observers=[recorder] if recorder is not None else (),
     )
     t0 = time.perf_counter()
     result = sim.run()
@@ -138,14 +143,24 @@ def check_equivalence(
     Complements the golden tests (which pin the fast path against
     committed seed-engine outputs at fixed scales) by re-proving, at
     whatever scale the bench runs, that memoisation changes no
-    decision.
+    decision.  A third run with the decision-provenance recorder
+    attached re-proves the recorder is a pure tap at this scale too
+    (``recorder_identical``) and reports its recorded/dropped counters.
     """
+    from repro.obs.provenance import DecisionRecorder
+
     memo, _ = _run_once(jobs, n_machines, scheduler_name)
     cold, _ = _run_once(jobs, n_machines, scheduler_name, memo_size=0)
+    recorder = DecisionRecorder(journal=True)
+    recorded, _ = _run_once(
+        jobs, n_machines, scheduler_name, recorder=recorder
+    )
     return {
         "scheduler": scheduler_name,
         "identical": _records_identical(memo, cold),
+        "recorder_identical": _records_identical(memo, recorded),
         "memo_stats": memo.placement_stats,
+        "decision_stats": recorder.counts(),
     }
 
 
@@ -255,6 +270,13 @@ def compare_to_baseline(
             "fast-path equivalence check failed: memoised and cold engines "
             "produced different placements"
         )
+    if bench.equivalence is not None and not bench.equivalence.get(
+        "recorder_identical", True
+    ):
+        failures.append(
+            "provenance equivalence check failed: attaching the decision "
+            "recorder changed placements"
+        )
     return failures
 
 
@@ -281,4 +303,15 @@ def format_bench(bench: BenchResult) -> str:
             f"equivalence ({bench.equivalence['scheduler']}, memo vs cold): "
             f"{verdict}"
         )
+        if "recorder_identical" in bench.equivalence:
+            rec_verdict = (
+                "OK" if bench.equivalence["recorder_identical"] else "MISMATCH"
+            )
+            stats = bench.equivalence.get("decision_stats") or {}
+            lines.append(
+                f"equivalence ({bench.equivalence['scheduler']}, recorder "
+                f"attached): {rec_verdict} "
+                f"({stats.get('recorded', 0)} decisions recorded, "
+                f"{stats.get('dropped', 0)} dropped)"
+            )
     return "\n".join(lines)

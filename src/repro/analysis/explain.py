@@ -1,0 +1,190 @@
+"""Render decision-provenance journals for ``repro explain``.
+
+The recorder (:mod:`repro.obs.provenance`) captures *what* the
+scheduler knew; this module turns those records into the terminal
+story a human asks for: "why did job X wait three rounds?", "what did
+round 7 decide?".  Everything here is pure formatting over already-
+validated record dicts — no simulation state, no engine imports.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _fmt_float(value, digits: int = 4) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.{digits}f}"
+
+
+def _pool_summary(pools: dict | None) -> str:
+    """One line for the filter_hosts report attached to a decision."""
+    if not pools:
+        return "candidate pools: (not recorded)"
+    pruned = pools.get("pruned") or {}
+    prune_bits = ", ".join(
+        f"{name}={count}" for name, count in pruned.items() if count
+    )
+    sizes = pools.get("pool_sizes") or []
+    kind = "spanning pool" if pools.get("spanning") else "single-node pools"
+    line = (
+        f"candidate pools: {pools.get('eligible', 0)}/"
+        f"{pools.get('machines', 0)} machines eligible ({kind}; "
+        f"gpu counts {sizes or '[]'})"
+    )
+    if prune_bits:
+        line += f"; pruned: {prune_bits}"
+    return line
+
+
+def _memo_summary(memo: dict | None) -> str | None:
+    if not memo:
+        return None
+    if not memo.get("enabled"):
+        return "placement memo: disabled"
+    return "placement memo: hit" if memo.get("hit") else "placement memo: miss"
+
+
+def _utility_lines(utility: dict | None) -> list[str]:
+    """The per-term breakdown: value, normalisation bounds, contribution."""
+    if not utility:
+        return []
+    lines = [f"utility {_fmt_float(utility.get('value'))} ="]
+    for name, term in (utility.get("terms") or {}).items():
+        lo, hi = term.get("bounds", (None, None))
+        lines.append(
+            f"  {name:<14} value={_fmt_float(term.get('value'))} "
+            f"norm={_fmt_float(term.get('norm'))} "
+            f"bounds=[{_fmt_float(lo)}, {_fmt_float(hi)}] "
+            f"weight={_fmt_float(term.get('weight'), 2)} "
+            f"contribution={_fmt_float(term.get('contribution'))}"
+        )
+    return lines
+
+
+def _slo_summary(slo: dict | None) -> list[str]:
+    if not slo:
+        return []
+    lines = [
+        "slo check: "
+        f"utility {_fmt_float(slo.get('utility'))} >= "
+        f"min_utility {_fmt_float(slo.get('min_utility'))} -> "
+        f"{'ok' if slo.get('utility_ok') else 'FAIL'}; "
+        f"p2p required={slo.get('requires_p2p')} "
+        f"got={slo.get('solution_p2p')} -> "
+        f"{'ok' if slo.get('p2p_ok') else 'FAIL'}"
+    ]
+    if slo.get("failed"):
+        lines.append(f"  failing predicate: {slo['failed']}")
+    if slo.get("override"):
+        lines.append(f"  anti-starvation override: {slo['override']}")
+    return lines
+
+
+def _capacity_summary(capacity: dict | None) -> str | None:
+    if not capacity:
+        return None
+    bound = "max_free" if capacity.get("single_node") else "total_free"
+    return (
+        f"capacity prune: needs more than {bound}="
+        f"{capacity.get(bound)} free GPUs "
+        f"(max_free={capacity.get('max_free')}, "
+        f"total_free={capacity.get('total_free')})"
+    )
+
+
+def format_decision(record: dict) -> str:
+    """Multi-line rendering of one decision record."""
+    header = (
+        f"[round {record.get('round', '?')} t={_fmt_float(record.get('t'), 1)}] "
+        f"{record.get('scheduler', '?')} -> {record['verdict'].upper()}"
+    )
+    if record.get("reason"):
+        header += f" ({record['reason']})"
+    lines = [
+        header,
+        f"  job {record.get('job_id')} wants {record.get('num_gpus')} GPUs; "
+        f"{record.get('queued')} queued; "
+        f"postponements so far: {record.get('postponements', 0)}",
+    ]
+    cap = _capacity_summary(record.get("capacity"))
+    if cap:
+        lines.append(f"  {cap}")
+    memo = _memo_summary(record.get("memo"))
+    if memo:
+        lines.append(f"  {memo}")
+    lines.append(f"  {_pool_summary(record.get('pools'))}")
+    candidates = record.get("candidates")
+    if candidates:
+        lines.append(f"  mappings evaluated: {len(candidates)}")
+        for cand in candidates:
+            machines = ",".join(cand.get("machines") or [])
+            lines.append(
+                f"    [{machines}] pool_gpus={cand.get('pool_gpus')} "
+                f"utility={_fmt_float(cand.get('utility'))} "
+                f"p2p={cand.get('p2p')}"
+            )
+    lines.extend(f"  {ln}" for ln in _utility_lines(record.get("utility")))
+    lines.extend(f"  {ln}" for ln in _slo_summary(record.get("slo")))
+    if record.get("gpus") is not None:
+        lines.append(
+            f"  placement: gpus={record['gpus']} p2p={record.get('p2p')}"
+        )
+    return "\n".join(lines)
+
+
+def format_job_explanation(job_id: str, records: Iterable[dict]) -> str:
+    """The decision chain for one job, oldest decision first."""
+    chain = [
+        r
+        for r in records
+        if r.get("kind") == "decision" and r.get("job_id") == job_id
+    ]
+    if not chain:
+        return f"no decision records for job {job_id!r}"
+    chain.sort(key=lambda r: r.get("seq", 0))
+    parts = [
+        f"job {job_id}: {len(chain)} decision(s), "
+        f"final verdict {chain[-1]['verdict']}"
+    ]
+    parts.extend(format_decision(r) for r in chain)
+    return "\n\n".join(parts)
+
+
+def format_round_explanation(round_no: int, records: Iterable[dict]) -> str:
+    """Every decision one round made, in decision order."""
+    decisions = [
+        r
+        for r in records
+        if r.get("kind") == "decision" and r.get("round") == round_no
+    ]
+    if not decisions:
+        return f"no decision records for round {round_no}"
+    decisions.sort(key=lambda r: r.get("seq", 0))
+    placed = sum(1 for r in decisions if r["verdict"] == "placed")
+    parts = [
+        f"round {round_no}: {len(decisions)} decision(s), {placed} placed"
+    ]
+    parts.extend(format_decision(r) for r in decisions)
+    return "\n\n".join(parts)
+
+
+def decision_summary_table(records: Sequence[dict]) -> str:
+    """Compact one-row-per-decision table (the `repro explain` index)."""
+    decisions = [r for r in records if r.get("kind") == "decision"]
+    header = (
+        f"{'seq':>5} {'round':>5} {'t':>8} {'job':<12} "
+        f"{'gpus':>4} {'verdict':<9} {'reason':<16} {'utility':>8}"
+    )
+    lines = [header]
+    for r in sorted(decisions, key=lambda r: r.get("seq", 0)):
+        utility = (r.get("utility") or {}).get("value")
+        lines.append(
+            f"{r.get('seq', 0):>5} {r.get('round', 0):>5} "
+            f"{r.get('t', 0.0):>8.1f} {str(r.get('job_id', '')):<12} "
+            f"{r.get('num_gpus', 0):>4} {r['verdict']:<9} "
+            f"{str(r.get('reason') or '-'):<16} "
+            f"{_fmt_float(utility):>8}"
+        )
+    return "\n".join(lines)

@@ -15,17 +15,24 @@ Subcommands::
     repro trace summarize TRACE.jsonl [--job ID]   # decision timelines
     repro trace export TRACE.jsonl [--out F]       # Perfetto/Chrome JSON
     repro trace profile TRACE.jsonl [--top N]      # per-phase profiler
+    repro explain job ID DECISIONS.jsonl           # one job's decision chain
+    repro explain round N DECISIONS.jsonl          # one round's decisions
+    repro explain list DECISIONS.jsonl             # journal index table
 
 ``simulate`` and ``compare`` accept telemetry sinks —
 ``--metrics-out`` (Prometheus text, or JSON with a ``.json`` suffix),
-``--events-out`` (schema-versioned JSONL lifecycle events) and
+``--events-out`` (schema-versioned JSONL lifecycle events),
 ``--trace-out`` (JSONL decision spans, fed to ``repro trace
-summarize``) — plus the live operational layer: ``--serve PORT``
-starts the introspection endpoint (``/metrics``, ``/healthz``,
-``/state``, ``/alerts``) for the duration of the run, and
-``--watchdog`` / ``--slo-rules FILE`` attach the SLO watchdog.
-Telemetry is tap-only: results are bit-identical with or without any
-of these flags (pinned by the fast-path A/B equivalence tests).
+summarize``) and ``--decisions-out`` (per-decision provenance records,
+fed to ``repro explain``) — plus the live operational layer:
+``--serve PORT`` starts the introspection endpoint (``/metrics``,
+``/healthz``, ``/state``, ``/alerts``, and with ``--decisions-out``
+also ``/decisions``, ``/explain/<id>`` and the ``/events`` SSE stream)
+for the duration of the run, and ``--watchdog`` / ``--slo-rules FILE``
+attach the SLO watchdog.  JSONL sinks and readers treat a ``.gz``
+suffix as gzip transparently.  Telemetry is tap-only: results are
+bit-identical with or without any of these flags (pinned by the
+fast-path A/B equivalence tests).
 
 Everything is also available as a library; the CLI is a thin veneer
 over :mod:`repro.prototype`, :mod:`repro.sim`, :mod:`repro.obs` and
@@ -90,6 +97,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="write the structured JSONL event log")
         p.add_argument("--trace-out", type=Path, default=None, metavar="FILE",
                        help="record decision-path spans to a JSONL trace")
+        p.add_argument("--decisions-out", type=Path, default=None,
+                       metavar="FILE",
+                       help="journal per-decision provenance records "
+                       "(JSONL, for `repro explain`; .gz compresses)")
         p.add_argument("--serve", type=int, default=None, metavar="PORT",
                        help="serve live introspection endpoints "
                        "(/metrics /healthz /state /alerts) on this port "
@@ -164,6 +175,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        "':memory:' disables durability")
     serve.add_argument("--max-queue-depth", type=int, default=100_000,
                        help="admission backpressure threshold")
+    serve.add_argument("--decisions-out", type=Path, default=None,
+                       metavar="FILE",
+                       help="write the decision-provenance journal at "
+                       "shutdown (JSONL; .gz compresses)")
 
     submit = sub.add_parser(
         "submit", help="submit a job manifest to a running daemon"
@@ -243,6 +258,32 @@ def _build_parser() -> argparse.ArgumentParser:
                                "tables")
     trace_profile.add_argument("--job", default=None,
                                help="restrict round details to this job id")
+
+    explain = sub.add_parser(
+        "explain",
+        help="render decision provenance (why the scheduler chose)",
+    )
+    explain_sub = explain.add_subparsers(dest="explain_command", required=True)
+    explain_job = explain_sub.add_parser(
+        "job", help="the full decision chain for one job"
+    )
+    explain_job.add_argument("job_id")
+    explain_job.add_argument("decisions_file", type=Path,
+                             help="JSONL journal written by --decisions-out "
+                             "(.gz read transparently)")
+    explain_round = explain_sub.add_parser(
+        "round", help="every decision one scheduling round made"
+    )
+    explain_round.add_argument("round_no", type=int)
+    explain_round.add_argument("decisions_file", type=Path,
+                               help="JSONL journal written by --decisions-out "
+                               "(.gz read transparently)")
+    explain_list = explain_sub.add_parser(
+        "list", help="one-line-per-decision index of a journal"
+    )
+    explain_list.add_argument("decisions_file", type=Path,
+                              help="JSONL journal written by --decisions-out "
+                              "(.gz read transparently)")
     return parser
 
 
@@ -314,13 +355,15 @@ class _TelemetrySinks:
         self.metrics_out = args.metrics_out
         self.events_out = args.events_out
         self.trace_out = args.trace_out
+        self.decisions_out = args.decisions_out
         self.serve_port = args.serve
         self.serve_linger = args.serve_linger
         self.watchdog_enabled = bool(
             args.watchdog or args.slo_rules is not None or args.serve is not None
         )
         self.enabled = (
-            any((self.metrics_out, self.events_out, self.trace_out))
+            any((self.metrics_out, self.events_out, self.trace_out,
+                 self.decisions_out))
             or self.watchdog_enabled
             or self.serve_port is not None
         )
@@ -352,6 +395,7 @@ class _TelemetrySinks:
                 self.publisher, self.registry, port=self.serve_port
             )
         self.watchdogs: dict[str, object] = {}
+        self.decision_recorders: dict[str, object] = {}
 
     def observers(self, scheduler: str, total_gpus: int, n_jobs: int) -> tuple:
         if not self.enabled:
@@ -382,6 +426,18 @@ class _TelemetrySinks:
                 # /alerts follows the policy currently running
                 self.server.watchdog = watchdog
             taps.append(watchdog)
+        if self.decisions_out is not None:
+            from repro.obs.provenance import DecisionRecorder
+
+            decision_rec = DecisionRecorder(
+                journal=True, registry=self.registry, scheduler=scheduler
+            )
+            self.decision_recorders[scheduler] = decision_rec
+            if self.server is not None:
+                # /decisions, /explain/<id> and /events follow the
+                # policy currently running, like /alerts
+                self.server.recorder = decision_rec
+            taps.append(decision_rec)
         if self.publisher is not None:
             from repro.obs.state import SnapshotObserver
 
@@ -399,9 +455,14 @@ class _TelemetrySinks:
             self._trace_mod.install(self.recorder)
         if self.server is not None:
             self.server.start()
+            extra = (
+                " /decisions /explain/<id> /events"
+                if self.decisions_out is not None
+                else ""
+            )
             print(
                 f"introspection server listening on {self.server.url} "
-                "(endpoints: /metrics /healthz /state /alerts)"
+                f"(endpoints: /metrics /healthz /state /alerts{extra})"
             )
         return self
 
@@ -433,6 +494,18 @@ class _TelemetrySinks:
             self.recorder.write(self.trace_out)
             print(
                 f"{len(self.recorder.spans)} spans written to {self.trace_out}"
+            )
+        if self.decisions_out is not None:
+            from repro.obs.io import open_text
+
+            total = 0
+            with open_text(self.decisions_out, "w") as fp:
+                for decision_rec in self.decision_recorders.values():
+                    for line in decision_rec.journal:
+                        fp.write(line + "\n")
+                        total += 1
+            print(
+                f"{total} decision records written to {self.decisions_out}"
             )
 
     # ------------------------------------------------------------------
@@ -581,6 +654,29 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_explain(args) -> int:
+    from repro.analysis.explain import (
+        decision_summary_table,
+        format_job_explanation,
+        format_round_explanation,
+    )
+    from repro.obs.provenance import read_decisions
+
+    try:
+        records = read_decisions(args.decisions_file)
+    except (OSError, ValueError) as exc:
+        # missing file or schema violation: one line, exit 2, no traceback
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.explain_command == "job":
+        print(format_job_explanation(args.job_id, records))
+    elif args.explain_command == "round":
+        print(format_round_explanation(args.round_no, records))
+    else:  # list
+        print(decision_summary_table(records))
+    return 0
+
+
 def _cmd_topo(args) -> int:
     from repro.topology.discovery import render_numactl_hardware, render_topo_matrix
     from repro.topology.render import render_gpu_distances, render_tree
@@ -690,6 +786,7 @@ def _cmd_serve(args) -> int:
         args.scheduler,
         store_path=str(args.store),
         max_queue_depth=args.max_queue_depth,
+        decision_journal=args.decisions_out is not None,
     )
     if service.recovered_jobs:
         print(
@@ -708,7 +805,8 @@ def _cmd_serve(args) -> int:
     print(
         f"scheduler service ({args.scheduler}) listening on {server.url}\n"
         "verbs: POST /submit /cancel /pause /resume; "
-        "GET /jobs /jobs/<id> /state /metrics /healthz"
+        "GET /jobs /jobs/<id> /state /metrics /healthz "
+        "/decisions /explain/<id> /events"
     )
     try:
         while not stop.is_set():
@@ -716,6 +814,10 @@ def _cmd_serve(args) -> int:
     finally:
         server.stop()
         service.stop()
+    if args.decisions_out is not None and service.decision_recorder is not None:
+        path = service.decision_recorder.write_journal(args.decisions_out)
+        count = len(service.decision_recorder.journal or ())
+        print(f"{count} decision records written to {path}")
     print("scheduler service stopped")
     return 0
 
@@ -864,6 +966,7 @@ def main(argv: list[str] | None = None) -> int:
         "replay": _cmd_replay,
         "report": _cmd_report,
         "trace": _cmd_trace,
+        "explain": _cmd_explain,
     }
     return handlers[args.command](args)
 

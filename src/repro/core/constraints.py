@@ -84,24 +84,42 @@ def filter_hosts(
     profiles: ProfileDatabase | None = None,
     *,
     spanning_pool_factor: int = 4,
+    report: dict | None = None,
 ) -> list[CandidatePool]:
     """Candidate pools for ``job``, best-provisioned machines first.
 
     Returns an empty list when the job cannot currently be placed
     anywhere (the scheduler then re-queues it).
+
+    ``report`` (optional) is a provenance out-param: when a dict is
+    passed, it is filled with machine counts, per-constraint prune
+    tallies and the surviving pool sizes.  Pure bookkeeping on values
+    the filter computes anyway — passing it changes no result.
     """
     co_runners = co_runners or {}
     profiles = profiles or default_database()
     job_demand = profiles.for_job(job).avg_demand_gbs
+    if report is not None:
+        report.update(
+            machines=len(topo.machines()),
+            eligible=0,
+            pruned={"free-gpus": 0, "bus-bandwidth": 0, "anti-collocation": 0},
+            pool_sizes=[],
+            spanning=False,
+        )
 
     eligible: list[tuple[int, str]] = []
     for machine in topo.machines():
         n_free = alloc.free_count(machine)  # O(1) quick reject
         if n_free < job.num_gpus:
+            if report is not None:
+                report["pruned"]["free-gpus"] += 1
             continue
         capacity = machine_bus_capacity(topo, machine)
         used = _machine_demand(alloc, machine, co_runners, profiles)
         if used + job_demand > capacity:
+            if report is not None:
+                report["pruned"]["bus-bandwidth"] += 1
             continue
         eligible.append((n_free, machine))
 
@@ -113,9 +131,14 @@ def filter_hosts(
     for _, machine in eligible:
         free = alloc.free_gpus(machine=machine)
         if job.anti_collocation and _free_domains(topo, free) < job.num_gpus:
+            if report is not None:
+                report["pruned"]["anti-collocation"] += 1
             continue
         pools.append(CandidatePool(machines=(machine,), gpus=tuple(free)))
     if pools or job.single_node:
+        if report is not None:
+            report["eligible"] = len(pools)
+            report["pool_sizes"] = [len(p.gpus) for p in pools]
         return pools
 
     # multi-node spanning pool: least-loaded machines until the pool is
@@ -138,4 +161,8 @@ def filter_hosts(
         return []
     if job.anti_collocation and len(machines) < job.num_gpus:
         return []
+    if report is not None:
+        report["eligible"] = 1
+        report["pool_sizes"] = [len(gpus)]
+        report["spanning"] = True
     return [CandidatePool(machines=tuple(machines), gpus=tuple(gpus))]

@@ -173,15 +173,27 @@ class PlacementEngine:
         self,
         job: Job,
         co_runners: Mapping[str, tuple[Job, frozenset[str]]] | None = None,
+        provenance: dict | None = None,
     ) -> PlacementSolution | None:
         """Best placement currently available, or ``None`` if none fits.
 
         Memoised per allocation epoch (see class docstring); a hit
         returns the cached solution re-labelled with this job's id.
+
+        ``provenance`` (optional) is a decision-provenance out-param:
+        when a dict is passed it is filled with memo hit/miss state,
+        the candidate-pool report and the per-pool evaluation results.
+        On a memo hit the pool report is recomputed via a read-only
+        ``filter_hosts`` pass (the cached answer skipped it), so every
+        decision record carries its candidate-pool sizes; the extra
+        pass only runs when provenance is requested and mutates
+        nothing, keeping results bit-identical.
         """
         co_runners = co_runners or {}
         if self.memo_size <= 0:
-            return self._propose(job, co_runners)
+            if provenance is not None:
+                provenance["memo"] = {"enabled": False, "hit": False}
+            return self._propose(job, co_runners, provenance)
         version = self.alloc.version
         if version != self._memo_version:
             # the pool moved since the last lookup: count an epoch
@@ -195,11 +207,21 @@ class PlacementEngine:
         if cached is not _MISS:
             self._memo.move_to_end(key)
             self.stats.hits += 1
+            if provenance is not None:
+                provenance["memo"] = {"enabled": True, "hit": True}
+                report: dict = {}
+                filter_hosts(
+                    self.topo, self.alloc, job, co_runners, self.profiles,
+                    report=report,
+                )
+                provenance["pools"] = report
             if cached is None:
                 return None
             return replace(cached, job_id=job.job_id)
         self.stats.misses += 1
-        solution = self._propose(job, co_runners)
+        if provenance is not None:
+            provenance["memo"] = {"enabled": True, "hit": False}
+        solution = self._propose(job, co_runners, provenance)
         self._memo[key] = solution
         if len(self._memo) > self.memo_size:
             self._memo.popitem(last=False)
@@ -209,22 +231,41 @@ class PlacementEngine:
         self,
         job: Job,
         co_runners: Mapping[str, tuple[Job, frozenset[str]]],
+        provenance: dict | None = None,
     ) -> PlacementSolution | None:
+        report = {} if provenance is not None else None
         pools = filter_hosts(
-            self.topo, self.alloc, job, co_runners, self.profiles
+            self.topo, self.alloc, job, co_runners, self.profiles,
+            report=report,
         )
+        if provenance is not None:
+            provenance["pools"] = report
         if not pools:
+            if provenance is not None:
+                provenance["reason"] = "no-feasible-pool"
             return None
         jobgraph = self.job_graph(job)
         best: PlacementSolution | None = None
+        candidates = [] if provenance is not None else None
         for pool in pools[: self.max_pools]:
             solution = self._solve_pool(job, jobgraph, pool, co_runners)
+            if candidates is not None:
+                candidates.append({
+                    "machines": list(pool.machines),
+                    "pool_gpus": len(pool.gpus),
+                    "utility": None if solution is None else solution.utility,
+                    "p2p": None if solution is None else solution.p2p,
+                })
             if solution is None:
                 continue
             if best is None or solution.utility > best.utility + 1e-12:
                 best = solution
             if best.utility >= 1.0 - 1e-12:
                 break  # cannot improve on a perfect placement
+        if provenance is not None:
+            provenance["candidates"] = candidates
+            if best is None:
+                provenance["reason"] = "no-mapping"
         return best
 
     def _solve_pool(

@@ -222,6 +222,58 @@ def normalized_utility(
     )
 
 
+def utility_breakdown(
+    topo: TopologyGraph,
+    n_gpus: int,
+    metrics: SolutionMetrics,
+    params: UtilityParams = UtilityParams(),
+) -> dict:
+    """Per-term explanation of one scored allocation (provenance).
+
+    Derives, for each Eq. 1 component, the raw value, its normalised
+    form, the [best, worst] bounds the normalisation ran against, the
+    alpha weight, and the weighted contribution ``alpha * (1 - x_hat)``
+    to the final utility.  Pure function of already-computed metrics —
+    the decision recorder calls it *after* the hot path scored the
+    solution, so attaching provenance changes no simulation result.
+    """
+    comm_best, comm_worst = comm_cost_bounds(topo, n_gpus)
+
+    def term(value: float, norm: float, bounds: tuple[float, float],
+             weight: float) -> dict:
+        return {
+            "value": value,
+            "norm": norm,
+            "bounds": [bounds[0], bounds[1]],
+            "weight": weight,
+            "contribution": weight * (1.0 - norm),
+        }
+
+    return {
+        "value": metrics.utility,
+        "terms": {
+            "comm_cost": term(
+                metrics.comm_cost,
+                metrics.comm_norm,
+                (comm_best, comm_worst),
+                params.alpha_cc,
+            ),
+            "interference": term(
+                metrics.interference,
+                metrics.interference_norm,
+                (1.0, params.interference_max),
+                params.alpha_b,
+            ),
+            "fragmentation": term(
+                metrics.fragmentation,
+                metrics.fragmentation_norm,
+                (0.0, 1.0),
+                params.alpha_d,
+            ),
+        },
+    }
+
+
 def evaluate_solution(
     topo: TopologyGraph,
     alloc: AllocationState,

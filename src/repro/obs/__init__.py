@@ -20,7 +20,14 @@ the evaluation used to recover post-hoc from ``JobRecord`` lists:
   (``/metrics``, ``/healthz``, ``/state``, ``/alerts``);
 * :mod:`repro.obs.profile` — Chrome Trace Event (Perfetto) export and
   the per-phase/critical-path profiler;
-* :mod:`repro.obs.alerts` — the declarative SLO watchdog.
+* :mod:`repro.obs.alerts` — the declarative SLO watchdog;
+* :mod:`repro.obs.provenance` — the decision flight recorder: one
+  schema-versioned "why" record per scheduling decision (candidate
+  pools, per-term utility breakdown, SLO verdicts), backing
+  ``repro explain``, ``/decisions``, ``/explain/<id>`` and the
+  ``/events`` SSE stream;
+* :mod:`repro.obs.io` — tiny shared IO helpers (gzip-transparent
+  ``open_text``).
 
 Everything here is tap-only: attaching telemetry must never change
 simulation results (enforced by the golden-equivalence tests) and the
@@ -44,6 +51,7 @@ from repro.obs.export import (
     sample_value,
     write_metrics,
 )
+from repro.obs.io import is_gzip_path, open_text
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -75,6 +83,7 @@ __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
     "DEFAULT_RULES",
+    "DecisionRecorder",
     "EVENT_TYPES",
     "EventLog",
     "Gauge",
@@ -82,6 +91,7 @@ __all__ = [
     "IntrospectionServer",
     "MetricsRegistry",
     "NULL_SPAN",
+    "PROVENANCE_SCHEMA_VERSION",
     "PhaseStats",
     "RoundProfile",
     "Rule",
@@ -96,10 +106,13 @@ __all__ = [
     "Watchdog",
     "format_profile",
     "install",
+    "is_gzip_path",
     "iter_events",
     "load_rules",
+    "open_text",
     "parse_prometheus",
     "profile_spans",
+    "read_decisions",
     "read_events",
     "read_trace",
     "recording",
@@ -130,6 +143,9 @@ _LAZY = {
     "Rule": "repro.obs.alerts",
     "DEFAULT_RULES": "repro.obs.alerts",
     "load_rules": "repro.obs.alerts",
+    "DecisionRecorder": "repro.obs.provenance",
+    "PROVENANCE_SCHEMA_VERSION": "repro.obs.provenance",
+    "read_decisions": "repro.obs.provenance",
 }
 
 

@@ -112,8 +112,13 @@ class EventLog:
 
 
 def iter_events(path: Path | str) -> Iterator[dict]:
-    """Stream validated events from a JSONL file."""
-    with Path(path).open() as fp:
+    """Stream validated events from a JSONL file.
+
+    ``.jsonl.gz`` files are decompressed transparently.
+    """
+    from repro.obs.io import open_text
+
+    with open_text(Path(path)) as fp:
         for lineno, line in enumerate(fp, start=1):
             if not line.strip():
                 continue

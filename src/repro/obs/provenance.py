@@ -1,0 +1,437 @@
+"""Decision provenance: the scheduler's bounded flight recorder.
+
+The scheduler pipeline (Algorithm 1) is a chain of judgments — filter
+hosts, DRB-map, score with the utility function, enforce or postpone —
+and the rest of the obs stack records *when* each phase ran but not
+*why* it chose what it chose.  :class:`DecisionRecorder` captures one
+schema-versioned record per scheduling decision:
+
+* candidate pool sizes and prune reasons from ``filter_hosts`` and the
+  scheduler's O(1) capacity pruning;
+* memo hit/miss provenance from ``PlacementEngine.propose``;
+* the per-term utility breakdown (communication cost, interference,
+  fragmentation, each with its normalisation bounds and weighted
+  contribution) from :func:`repro.core.utility.utility_breakdown`;
+* the enforce/postpone/no-fit verdict with the SLO-check inputs from
+  ``TopoAwareScheduler._acceptable`` (which predicate failed, and any
+  anti-starvation override).
+
+It is also a :class:`~repro.sim.hooks.SimObserver`: job-state-change
+events (arrival, placement, finish, failure requeue) and round
+boundaries are recorded alongside decisions so a Server-Sent-Events
+client gets a live feed without polling ``/jobs``.
+
+Tap-only by construction: the recorder only ever *receives* data the
+hot path already computed (the provenance dicts it is handed are built
+solely when a recorder is attached), so results are bit-identical with
+or without it — pinned by the fast-path A/B equivalence tests — and
+the per-decision cost is pinned below 3 % of a bare Scenario 1 run by
+``benchmarks/test_obs_overhead.py``.
+
+Storage is a bounded ring of entries ``[seq, kind, payload, line]``.
+The write side captures only a tuple of references (~1 µs: the hot
+path must stay under 3 % of a bare run); the record dict and its JSON
+line are materialised lazily on first read and cached back into the
+entry, so the ``data:`` payload an SSE client streams is the *same
+string object* as the journaled ``--decisions-out`` record with the
+same ``seq`` — byte-match by construction.  Deferral is safe because
+every reference captured is frozen at decision time: the provenance
+and SLO dicts are built fresh per decision and never touched again by
+the scheduler, ``PlacementSolution`` is a frozen dataclass, and the
+engine's topology/parameters (all ``utility_breakdown`` reads) are
+static for the run.  Overflow evicts the oldest entry and counts
+evicted decisions in ``dropped_total`` (surfaced as the
+``repro_decisions_dropped_total`` metric family) so provenance loss is
+visible rather than silent.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from pathlib import Path
+from typing import Iterable
+
+from repro.core.utility import utility_breakdown
+from repro.obs.io import open_text
+from repro.sim.hooks import BaseObserver
+
+#: version stamped on every record ("schema" field)
+PROVENANCE_SCHEMA_VERSION = 1
+
+#: verdicts a decision record may carry
+DECISION_VERDICTS = ("placed", "postponed", "no-fit")
+
+#: fields every decision-kind record must carry (reader validation)
+_DECISION_REQUIRED = ("seq", "round", "t", "scheduler", "job_id", "verdict")
+
+
+class DecisionRecorder(BaseObserver):
+    """Bounded flight recorder for scheduler decisions + job events.
+
+    ``ring_size`` bounds the replay buffer (oldest entries evicted);
+    ``journal=True`` additionally keeps every *decision* line unbounded
+    for ``--decisions-out`` export; ``registry`` (optional) registers
+    the ``repro_decisions_recorded_total`` /
+    ``repro_decisions_dropped_total`` counter families.
+
+    Thread model: single writer — all writes happen on the
+    simulation/loop thread (the only place observers run), and every
+    container operation on the write path is atomic under the GIL, so
+    the hot path takes no lock.  SSE handler threads snapshot the ring
+    with ``list()`` and only block (in :meth:`wait_beyond`) on the
+    condition variable; the writer touches it solely when a waiter is
+    registered.
+    """
+
+    #: duck-typed flag the simulation kernel looks for when deciding
+    #: whether to thread a recorder through the SchedulingContext
+    wants_decision_provenance = True
+
+    def __init__(
+        self,
+        *,
+        ring_size: int = 4096,
+        journal: bool = False,
+        registry=None,
+        scheduler: str = "",
+    ) -> None:
+        if ring_size < 1:
+            raise ValueError("ring_size must be >= 1")
+        self.ring_size = ring_size
+        self.scheduler = scheduler
+        #: ring entries are mutable ``[seq, kind, payload, line]`` lists;
+        #: ``line`` starts as None and caches the JSON on first read
+        self._ring: deque[list] = deque()
+        self._cond = threading.Condition()
+        self._waiters = 0
+        self._seq = 0
+        self._round = 0
+        self.recorded_total = 0
+        self.dropped_total = 0
+        self._journal: list[list] | None = [] if journal else None
+        self._recorded_ctr = None
+        self._dropped_ctr = None
+        if registry is not None:
+            self._recorded_ctr = registry.counter(
+                "repro_decisions_recorded_total",
+                "Scheduling decisions captured by the provenance recorder",
+                ("scheduler",),
+            )
+            self._dropped_ctr = registry.counter(
+                "repro_decisions_dropped_total",
+                "Decision records evicted from the provenance ring buffer",
+                ("scheduler",),
+            )
+
+    # ------------------------------------------------------------------
+    # the write side (simulation/loop thread only)
+    # ------------------------------------------------------------------
+    def _append(self, kind: str, payload: tuple) -> None:
+        # single-writer hot path: no lock — every container operation
+        # here is atomic under the GIL, readers only snapshot.  The
+        # condition variable is touched solely when an SSE reader is
+        # parked in wait_beyond (a missed-registration race costs that
+        # reader one wait timeout, nothing more).
+        self._seq += 1
+        ring = self._ring
+        ring.append([self._seq, kind, payload, None])
+        if len(ring) > self.ring_size:
+            old = ring.popleft()
+            if old[1] == "decision":
+                self.dropped_total += 1
+                if self._dropped_ctr is not None:
+                    self._dropped_ctr.inc(scheduler=self.scheduler)
+        if kind == "decision":
+            self.recorded_total += 1
+            if self._recorded_ctr is not None:
+                self._recorded_ctr.inc(scheduler=self.scheduler)
+            if self._journal is not None:
+                self._journal.append(ring[-1])
+        if self._waiters:
+            with self._cond:
+                self._cond.notify_all()
+
+    def decision(
+        self,
+        *,
+        t: float,
+        scheduler: str,
+        job,
+        queued: int,
+        verdict: str,
+        reason: str | None = None,
+        solution=None,
+        engine=None,
+        propose: dict | None = None,
+        slo: dict | None = None,
+        postponements: int = 0,
+        capacity: dict | None = None,
+    ) -> None:
+        """Record one scheduling decision.
+
+        ``propose`` is the provenance dict ``PlacementEngine.propose``
+        filled (memo hit/miss, candidate pools, per-pool candidates);
+        ``slo`` is the detail dict ``_acceptable`` filled (predicate
+        inputs and any anti-starvation override); ``capacity`` carries
+        the O(1) pruning inputs when the job never reached the engine.
+
+        Hot-path cost is one tuple capture plus a ring append; the
+        record dict (including the utility breakdown) and its JSON
+        line are built lazily on first read.  Callers must therefore
+        hand over dicts they will not mutate afterwards — the
+        scheduler builds ``propose``/``slo``/``capacity`` fresh per
+        decision, which is what makes the deferral sound.
+        """
+        if verdict not in DECISION_VERDICTS:
+            raise ValueError(f"unknown verdict {verdict!r}")
+        if not self.scheduler:
+            self.scheduler = scheduler
+        self._append(
+            "decision",
+            (
+                self._round,
+                t,
+                scheduler,
+                job.job_id,
+                job.num_gpus,
+                queued,
+                verdict,
+                reason,
+                propose,
+                slo,
+                postponements,
+                capacity,
+                solution,
+                engine,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # SimObserver hooks: job-state-change + round-boundary events
+    # ------------------------------------------------------------------
+    def on_arrival(self, t, job):
+        self._append("job", (t, job.job_id, "QUEUED", None, None, False))
+
+    def on_place(self, t, job, solution, solo_exec_time, postponements):
+        self._append(
+            "job", (t, job.job_id, "RUNNING", solution, postponements, False)
+        )
+
+    def on_finish(self, t, job, gpus):
+        self._append("job", (t, job.job_id, "FINISHED", None, None, False))
+
+    def on_requeue(self, t, job):
+        self._append("job", (t, job.job_id, "QUEUED", None, None, True))
+
+    def on_decision_round(self, t, placed, queued, elapsed_s):
+        self._append("round", (self._round, t, len(placed), queued))
+        self._round += 1
+
+    # ------------------------------------------------------------------
+    # lazy materialisation (read threads; cached back into the entry)
+    # ------------------------------------------------------------------
+    def _line(self, entry: list) -> str:
+        line = entry[3]
+        if line is None:
+            # a racing reader builds the same deterministic record, so
+            # last-write-wins caching needs no lock
+            line = json.dumps(self._build(entry), sort_keys=False)
+            entry[3] = line
+        return line
+
+    def _build(self, entry: list) -> dict:
+        seq, kind, payload = entry[0], entry[1], entry[2]
+        if kind == "decision":
+            (
+                round_no,
+                t,
+                scheduler,
+                job_id,
+                num_gpus,
+                queued,
+                verdict,
+                reason,
+                propose,
+                slo,
+                postponements,
+                capacity,
+                solution,
+                engine,
+            ) = payload
+            propose = propose or {}
+            record = {
+                "schema": PROVENANCE_SCHEMA_VERSION,
+                "seq": seq,
+                "kind": "decision",
+                "round": round_no,
+                "t": t,
+                "scheduler": scheduler,
+                "job_id": job_id,
+                "num_gpus": num_gpus,
+                "queued": queued,
+                "verdict": verdict,
+                "reason": reason,
+                "memo": propose.get("memo"),
+                "pools": propose.get("pools"),
+                "candidates": propose.get("candidates"),
+                "capacity": capacity,
+                "utility": None,
+                "slo": slo,
+                "gpus": None,
+                "p2p": None,
+                "postponements": postponements,
+            }
+            if solution is not None:
+                record["gpus"] = sorted(solution.gpus)
+                record["p2p"] = solution.p2p
+                if engine is not None:
+                    record["utility"] = utility_breakdown(
+                        engine.topo,
+                        len(solution.gpus),
+                        solution.metrics,
+                        engine.params,
+                    )
+            return record
+        if kind == "job":
+            t, job_id, state, solution, postponements, restart = payload
+            record = {
+                "schema": PROVENANCE_SCHEMA_VERSION,
+                "seq": seq,
+                "kind": "job",
+                "t": t,
+                "job_id": job_id,
+                "state": state,
+            }
+            if solution is not None:
+                record["gpus"] = sorted(solution.gpus)
+                record["utility"] = solution.utility
+                record["postponements"] = postponements
+            if restart:
+                record["restart"] = True
+            return record
+        round_no, t, n_placed, queued = payload
+        return {
+            "schema": PROVENANCE_SCHEMA_VERSION,
+            "seq": seq,
+            "kind": "round",
+            "round": round_no,
+            "t": t,
+            "placed": n_placed,
+            "queued": queued,
+        }
+
+    # ------------------------------------------------------------------
+    # the read side (HTTP/SSE threads, CLI, tests)
+    # ------------------------------------------------------------------
+    @property
+    def last_seq(self) -> int:
+        return self._seq
+
+    def counts(self) -> dict:
+        return {"recorded": self.recorded_total, "dropped": self.dropped_total}
+
+    @property
+    def journal(self) -> list[str] | None:
+        """The kept decision lines (``None`` unless ``journal=True``)."""
+        if self._journal is None:
+            return None
+        return [self._line(e) for e in list(self._journal)]
+
+    def entries_after(self, cursor: int) -> list[tuple[int, str, str]]:
+        """``(seq, kind, line)`` ring entries with ``seq > cursor``
+        (the SSE replay read).  ``list(deque)`` is one C-level call,
+        so the snapshot is consistent without taking a lock."""
+        return [
+            (e[0], e[1], self._line(e))
+            for e in list(self._ring)
+            if e[0] > cursor
+        ]
+
+    def wait_beyond(self, cursor: int, timeout: float) -> bool:
+        """Block until an entry beyond ``cursor`` exists (or timeout)."""
+        if self._seq > cursor:
+            return True
+        with self._cond:
+            self._waiters += 1
+            try:
+                if self._seq > cursor:
+                    return True
+                return self._cond.wait(timeout)
+            finally:
+                self._waiters -= 1
+
+    def decisions(self) -> list[dict]:
+        """Decision records currently in the ring, oldest first (fresh
+        parsed copies — callers may mutate them freely)."""
+        return [
+            json.loads(self._line(e))
+            for e in list(self._ring)
+            if e[1] == "decision"
+        ]
+
+    def for_job(self, job_id: str) -> list[dict]:
+        """The decision chain for one job (journal if kept, else ring)."""
+        if self._journal is not None:
+            entries = list(self._journal)
+        else:
+            entries = [e for e in list(self._ring) if e[1] == "decision"]
+        records = (json.loads(self._line(e)) for e in entries)
+        return [r for r in records if r.get("job_id") == job_id]
+
+    def write_journal(self, path: Path | str) -> Path:
+        """Write the kept decision journal as JSONL (gzip for ``.gz``)."""
+        if self._journal is None:
+            raise ValueError("recorder was built without journal=True")
+        path = Path(path)
+        lines = [self._line(e) for e in list(self._journal)]
+        with open_text(path, "w") as fp:
+            for line in lines:
+                fp.write(line + "\n")
+        return path
+
+
+# ---------------------------------------------------------------------------
+# reading journals back (the `repro explain` loader)
+# ---------------------------------------------------------------------------
+
+def validate_decision(record: dict) -> dict:
+    """Schema-check one provenance record; returns it unchanged."""
+    if record.get("schema") != PROVENANCE_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported provenance schema {record.get('schema')!r}"
+        )
+    kind = record.get("kind")
+    if kind == "decision":
+        for field in _DECISION_REQUIRED:
+            if field not in record:
+                raise ValueError(f"decision record missing {field!r}")
+        if record["verdict"] not in DECISION_VERDICTS:
+            raise ValueError(f"unknown verdict {record['verdict']!r}")
+    elif kind not in ("job", "round"):
+        raise ValueError(f"unknown record kind {kind!r}")
+    return record
+
+
+def read_decisions(path: Path | str) -> list[dict]:
+    """Load a ``--decisions-out`` journal (``.jsonl`` or ``.jsonl.gz``)."""
+    records: list[dict] = []
+    with open_text(path) as fp:
+        for lineno, line in enumerate(fp, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: not JSON: {exc}") from None
+            try:
+                records.append(validate_decision(record))
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: {exc}") from None
+    return records
+
+
+def decision_records(records: Iterable[dict]) -> list[dict]:
+    """Filter a record stream down to decision-kind records."""
+    return [r for r in records if r.get("kind") == "decision"]

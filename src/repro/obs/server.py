@@ -1,8 +1,7 @@
 """Live introspection endpoint for running simulations.
 
 A stdlib :class:`~http.server.ThreadingHTTPServer` started on a
-daemon thread by ``repro simulate/compare --serve PORT``.  Four
-endpoints:
+daemon thread by ``repro simulate/compare --serve PORT``.  Endpoints:
 
 * ``GET /metrics`` — the shared :class:`MetricsRegistry` in Prometheus
   text exposition format (scrape-ready);
@@ -12,20 +11,26 @@ endpoints:
   (sim clock, queue depth, running/queued jobs, per-machine free
   GPUs, allocation epoch, placement-cache counters);
 * ``GET /alerts``  — the SLO watchdog's current state (active alerts,
-  fired history), or ``{"enabled": false}`` without a watchdog.
+  fired history), or ``{"enabled": false}`` without a watchdog;
+* ``GET /decisions`` — the decision-provenance ring (recorder counters
+  + the buffered decision records), or ``{"enabled": false}``;
+* ``GET /explain/<job_id>`` — the decision chain for one job;
+* ``GET /events`` — Server-Sent-Events stream of decision /
+  job-state-change / round events, with ``Last-Event-ID`` replay from
+  the recorder's ring buffer, so clients stop polling ``/jobs``.
 
-Handlers only ever read atomically-swapped immutable objects — the
-publisher's snapshot slot and the watchdog's published state — so a
-scrape can never block or perturb the simulation thread; results stay
-bit-identical with the server attached (pinned by the fast-path A/B
-equivalence test).
+Handlers only ever read atomically-swapped immutable objects or
+lock-protected recorder entries — a scrape can never block or perturb
+the simulation thread; results stay bit-identical with the server
+attached (pinned by the fast-path A/B equivalence test).
 
 Routing is table-driven and overridable: subclasses (the scheduler
 service daemon) register additional GET routes and POST verbs via
 :meth:`IntrospectionServer.get_routes` / :meth:`post_routes` without
 re-implementing the HTTP plumbing.  Connections are HTTP/1.1 with
 keep-alive, so a replay driver can push thousands of submissions per
-second over a handful of sockets.
+second over a handful of sockets; the SSE stream alone closes its
+connection when the client disconnects or the server stops.
 """
 
 from __future__ import annotations
@@ -74,6 +79,10 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:
         path = self.path.split("?", 1)[0]
+        stream = self.server.owner.stream_routes().get(path)
+        if stream is not None:
+            stream(self)
+            return
         handler = self.server.owner.get_routes().get(path)
         if handler is not None:
             self._send(*handler())
@@ -129,11 +138,16 @@ class IntrospectionServer:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
+        recorder=None,
     ) -> None:
         self.publisher = publisher
         self.registry = registry
         self.watchdog = watchdog
+        #: decision flight recorder (repro.obs.provenance) backing
+        #: /decisions, /explain/<id> and the /events SSE stream
+        self.recorder = recorder
         self._started_at = time.time()
+        self._stopping = threading.Event()
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
         self._httpd.owner = self  # route lookups go through this back-ref
         self._httpd.daemon_threads = True
@@ -149,7 +163,14 @@ class IntrospectionServer:
             "/healthz": self._healthz,
             "/state": lambda: (200, self.render_state(), JSON),
             "/alerts": lambda: (200, self.render_alerts(), JSON),
+            "/decisions": lambda: (200, self.render_decisions(), JSON),
         }
+
+    def stream_routes(self) -> dict[str, Callable]:
+        """Path -> streaming handler (receives the raw request
+        handler; writes its own headers and body, no Content-Length).
+        Checked before the plain GET table."""
+        return {"/events": self._stream_events}
 
     def post_routes(self) -> dict[str, Callable[[dict], Response]]:
         """Path -> handler for POST (handler receives the JSON body).
@@ -163,7 +184,32 @@ class IntrospectionServer:
         """Fallback for GET paths missing from the route table —
         subclasses implement parameterised routes (``/jobs/<id>``)
         here.  ``None`` means 404."""
+        if path.startswith("/explain/"):
+            return self._explain(path[len("/explain/"):])
         return None
+
+    def _explain(self, job_id: str) -> Response:
+        if self.recorder is None:
+            return json_response(
+                404, {"error": "no decision recorder attached"}
+            )
+        decisions = self.recorder.for_job(job_id)
+        if not decisions:
+            return json_response(
+                404,
+                {"error": f"no recorded decisions for job {job_id!r}"},
+            )
+        return json_response(
+            200, self.explain_document(job_id, decisions)
+        )
+
+    def explain_document(self, job_id: str, decisions: list[dict]) -> dict:
+        """The ``/explain/<id>`` body; subclasses may enrich it."""
+        return {
+            "job_id": job_id,
+            "count": len(decisions),
+            "decisions": decisions,
+        }
 
     def _healthz(self) -> Response:
         body, code = self.render_health()
@@ -186,6 +232,7 @@ class IntrospectionServer:
 
     def start(self) -> "IntrospectionServer":
         self._started_at = time.time()
+        self._stopping.clear()
         self._thread = threading.Thread(
             target=self._httpd.serve_forever,
             name="repro-introspection",
@@ -195,6 +242,9 @@ class IntrospectionServer:
         return self
 
     def stop(self) -> None:
+        # unblock SSE streamers first so their handler threads exit
+        # their wait loops instead of holding sockets open
+        self._stopping.set()
         self._httpd.shutdown()
         self._httpd.server_close()
         if self._thread is not None:
@@ -244,3 +294,74 @@ class IntrospectionServer:
         if self.watchdog is None:
             return json.dumps({"enabled": False, "active": [], "fired": []})
         return json.dumps(self.watchdog.published_state())
+
+    def render_decisions(self) -> str:
+        recorder = self.recorder
+        if recorder is None:
+            return json.dumps(
+                {"enabled": False, "recorded": 0, "dropped": 0,
+                 "decisions": []}
+            )
+        counts = recorder.counts()
+        return json.dumps(
+            {
+                "enabled": True,
+                "recorded": counts["recorded"],
+                "dropped": counts["dropped"],
+                "last_seq": recorder.last_seq,
+                "decisions": recorder.decisions(),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # the SSE stream (runs on the per-connection handler thread)
+    # ------------------------------------------------------------------
+    #: how long one wait-for-events cycle blocks before re-checking the
+    #: stopping flag (bounds shutdown latency for idle streams)
+    SSE_WAIT_S = 0.25
+
+    def _stream_events(self, handler) -> None:
+        """``GET /events``: push recorder entries as they arrive.
+
+        Frames follow the SSE protocol: ``id:`` carries the record's
+        ring sequence number, ``event:`` its kind (``decision`` /
+        ``job`` / ``round``) and ``data:`` the JSON line — the *same*
+        serialised string a ``--decisions-out`` journal holds, so
+        streamed decisions byte-match journaled records.  A client
+        reconnecting with a ``Last-Event-ID`` header resumes from the
+        ring without duplicates (entries already evicted are gone —
+        ``/decisions`` reports the drop counter).
+        """
+        recorder = self.recorder
+        if recorder is None:
+            handler._send(
+                *json_response(404, {"error": "no decision recorder attached"})
+            )
+            return
+        try:
+            cursor = int(handler.headers.get("Last-Event-ID") or 0)
+        except ValueError:
+            cursor = 0
+        handler.send_response(200)
+        handler.send_header("Content-Type", "text/event-stream")
+        handler.send_header("Cache-Control", "no-cache")
+        handler.send_header("Connection", "close")
+        handler.end_headers()
+        handler.close_connection = True
+        wfile = handler.wfile
+        try:
+            wfile.write(b": stream open\n\n")
+            wfile.flush()
+            while not self._stopping.is_set():
+                entries = recorder.entries_after(cursor)
+                for seq, kind, line in entries:
+                    wfile.write(
+                        f"id: {seq}\nevent: {kind}\ndata: {line}\n\n".encode()
+                    )
+                    cursor = seq
+                if entries:
+                    wfile.flush()
+                else:
+                    recorder.wait_beyond(cursor, self.SSE_WAIT_S)
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass  # client went away: normal stream teardown

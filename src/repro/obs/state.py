@@ -27,8 +27,9 @@ from dataclasses import asdict, dataclass
 from repro.sim.hooks import BaseObserver
 
 #: snapshot document version served under ``/state`` (2: job_states
-#: table added for service mode)
-STATE_SCHEMA_VERSION = 2
+#: table added for service mode; 3: decision_stats — provenance
+#: recorder recorded/dropped counters)
+STATE_SCHEMA_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -58,6 +59,9 @@ class RunSnapshot:
     #: service-mode job table: (job_id, lifecycle state) pairs from the
     #: daemon's state machine; empty for plain one-shot simulations
     job_states: tuple[tuple[str, str], ...] = ()
+    #: provenance-recorder counters ((name, value) pairs: recorded and
+    #: dropped decision records); empty without a recorder attached
+    decision_stats: tuple[tuple[str, int], ...] = ()
 
     def to_dict(self) -> dict:
         doc = asdict(self)
@@ -67,6 +71,7 @@ class RunSnapshot:
         doc["free_gpus_by_machine"] = dict(self.free_gpus_by_machine)
         doc["placement_cache"] = dict(self.placement_cache)
         doc["job_states"] = dict(self.job_states)
+        doc["decision_stats"] = dict(self.decision_stats)
         return doc
 
 
@@ -132,17 +137,32 @@ class SnapshotObserver(BaseObserver):
         self._rounds = 0
         self._cluster = None
         self._sched = None
+        self._sim = None
 
     # ------------------------------------------------------------------
     def bind_simulation(self, sim) -> None:
         """Called by the runner once the Simulator exists."""
         self._cluster = sim.cluster
         self._sched = sim.scheduler
+        # the decision recorder is discovered by Simulator.start(),
+        # which may run after this bind: keep the sim handle and read
+        # the recorder's counters lazily at build time
+        self._sim = sim
         if not self.scheduler:
             self.scheduler = sim.scheduler.name
         if self.total_gpus is None:
             self.total_gpus = len(sim.topo.gpus())
         self._publish()
+
+    def _decision_stats(self) -> tuple[tuple[str, int], ...]:
+        recorder = getattr(self._sim, "decision_recorder", None)
+        if recorder is None:
+            return ()
+        counts = recorder.counts()
+        return (
+            ("recorded", counts["recorded"]),
+            ("dropped", counts["dropped"]),
+        )
 
     # ------------------------------------------------------------------
     def _build(self, *, finished: bool = False, makespan: float = 0.0) -> RunSnapshot:
@@ -161,6 +181,7 @@ class SnapshotObserver(BaseObserver):
                 finished=finished,
                 makespan=makespan,
                 job_states=job_states,
+                decision_stats=self._decision_stats(),
             )
         alloc = cluster.alloc
         free_by_machine = tuple(
@@ -190,6 +211,7 @@ class SnapshotObserver(BaseObserver):
             finished=finished,
             makespan=makespan,
             job_states=job_states,
+            decision_stats=self._decision_stats(),
         )
 
     def _publish(self, **kwargs) -> None:

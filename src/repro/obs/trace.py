@@ -205,9 +205,14 @@ class recording:
 # ---------------------------------------------------------------------------
 
 def read_trace(path: Path | str) -> list[dict]:
-    """Load span dicts from a JSONL trace file, validating the schema."""
+    """Load span dicts from a JSONL trace file, validating the schema.
+
+    ``.jsonl.gz`` files are decompressed transparently.
+    """
+    from repro.obs.io import open_text
+
     spans: list[dict] = []
-    with Path(path).open() as fp:
+    with open_text(Path(path)) as fp:
         for lineno, line in enumerate(fp, start=1):
             if not line.strip():
                 continue

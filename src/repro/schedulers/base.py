@@ -36,6 +36,10 @@ class SchedulingContext:
     #: full cluster view (running jobs, rates, health); None when a
     #: caller builds a bare context outside the simulation kernel
     cluster: "ClusterState | None" = None
+    #: decision flight recorder (repro.obs.provenance) threaded through
+    #: by the simulation kernel when one is attached as an observer;
+    #: None — the default — keeps the hot path provenance-free
+    recorder: object | None = None
 
 
 @dataclass(order=True)

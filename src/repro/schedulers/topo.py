@@ -42,6 +42,7 @@ class TopoAwareScheduler(Scheduler):
     def schedule(self, ctx: SchedulingContext) -> list[PlacementSolution]:
         placed: list[PlacementSolution] = []
         co = dict(ctx.co_runners)
+        rec = ctx.recorder
         max_free = ctx.alloc.max_free_count()
         total_free = ctx.alloc.total_free_count()
         for entry in list(self._queue):
@@ -62,27 +63,82 @@ class TopoAwareScheduler(Scheduler):
                     not job.single_node and job.num_gpus > total_free
                 ):
                     sp.set(outcome="no-fit", reason="capacity")
+                    if rec is not None:
+                        rec.decision(
+                            t=ctx.now,
+                            scheduler=self.name,
+                            job=job,
+                            queued=len(self._queue),
+                            verdict="no-fit",
+                            reason="capacity",
+                            capacity={
+                                "max_free": max_free,
+                                "total_free": total_free,
+                                "single_node": job.single_node,
+                            },
+                        )
                     continue
-                solution = ctx.engine.propose(job, co)
+                prov = {} if rec is not None else None
+                solution = ctx.engine.propose(job, co, provenance=prov)
                 if solution is None:
                     # Algorithm 1 pops every queued job per iteration: a
                     # job with no feasible hosts right now is simply
                     # re-queued (unlike FCFS, the head never blocks
                     # later jobs).
                     sp.set(outcome="no-fit")
+                    if rec is not None:
+                        rec.decision(
+                            t=ctx.now,
+                            scheduler=self.name,
+                            job=job,
+                            queued=len(self._queue),
+                            verdict="no-fit",
+                            reason=prov.pop("reason", "no-feasible-pool"),
+                            propose=prov,
+                        )
                     continue
                 sp.set(utility=solution.utility, p2p=solution.p2p)
-                if self.postpone and not self._acceptable(ctx, job, solution, co):
+                detail = {} if (rec is not None and self.postpone) else None
+                if self.postpone and not self._acceptable(
+                    ctx, job, solution, co, detail
+                ):
                     self._note_postponed(job.job_id)
                     sp.set(
                         outcome="postponed",
                         postponements=self.postponements.get(job.job_id, 0),
                     )
+                    if rec is not None:
+                        rec.decision(
+                            t=ctx.now,
+                            scheduler=self.name,
+                            job=job,
+                            queued=len(self._queue),
+                            verdict="postponed",
+                            reason=(detail or {}).get("failed"),
+                            solution=solution,
+                            engine=ctx.engine,
+                            propose=prov,
+                            slo=detail,
+                            postponements=self.postponements.get(job.job_id, 0),
+                        )
                     continue
                 self._place(ctx, job, solution, co)
                 self._remove(job.job_id)
                 placed.append(solution)
                 sp.set(outcome="placed", gpus=len(solution.gpus))
+                if rec is not None:
+                    rec.decision(
+                        t=ctx.now,
+                        scheduler=self.name,
+                        job=job,
+                        queued=len(self._queue) + 1,
+                        verdict="placed",
+                        solution=solution,
+                        engine=ctx.engine,
+                        propose=prov,
+                        slo=detail,
+                        postponements=self.postponements.get(job.job_id, 0),
+                    )
             max_free = ctx.alloc.max_free_count()
             total_free = ctx.alloc.total_free_count()
             if max_free == 0:
@@ -96,22 +152,48 @@ class TopoAwareScheduler(Scheduler):
         job: Job,
         solution: PlacementSolution,
         co: dict,
+        detail: dict | None = None,
     ) -> bool:
-        """TOPO-AWARE-P's postponement test (False = postpone)."""
+        """TOPO-AWARE-P's postponement test (False = postpone).
+
+        ``detail`` (optional) is a provenance out-param filled with the
+        SLO predicate inputs, which predicate failed (``"utility"`` or
+        ``"p2p"``) and any anti-starvation override — read-only
+        bookkeeping that preserves the predicate evaluation order, so
+        attaching it changes no decision.
+        """
         utility_ok = solution.utility >= job.min_utility - 1e-12
         p2p_ok = (
             not job.requires_p2p
             or solution.p2p
             or not ctx.engine.p2p_attainable(job)
         )
+        if detail is not None:
+            detail.update(
+                min_utility=job.min_utility,
+                utility=solution.utility,
+                utility_ok=utility_ok,
+                requires_p2p=job.requires_p2p,
+                solution_p2p=solution.p2p,
+                p2p_ok=p2p_ok,
+                failed=(
+                    None if utility_ok and p2p_ok
+                    else ("utility" if not utility_ok else "p2p")
+                ),
+                override=None,
+            )
         if utility_ok and p2p_ok:
             return True
         # nothing running: the state cannot improve by waiting
         if not co:
+            if detail is not None:
+                detail["override"] = "nothing-running"
             return True
         if (
             self.max_postponements is not None
             and self.postponements.get(job.job_id, 0) >= self.max_postponements
         ):
+            if detail is not None:
+                detail["override"] = "postponement-budget"
             return True
         return False

@@ -38,6 +38,7 @@ from dataclasses import dataclass
 
 from repro.obs.events import EventLog
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.provenance import DecisionRecorder
 from repro.obs.server import IntrospectionServer, Response, json_response
 from repro.obs.state import SnapshotObserver, SnapshotPublisher
 from repro.obs.telemetry import ServiceTelemetry, TelemetryObserver
@@ -112,6 +113,8 @@ class SchedulerService:
         registry: MetricsRegistry | None = None,
         event_log: EventLog | None = None,
         extra_observers: tuple = (),
+        decision_ring: int = 4096,
+        decision_journal: bool = False,
     ) -> None:
         if isinstance(scheduler, str):
             scheduler = make_scheduler(scheduler)
@@ -134,6 +137,22 @@ class SchedulerService:
             scheduler=scheduler.name,
             total_gpus=len(topo.gpus()),
         )
+        # the decision flight recorder backs /decisions, /explain/<id>
+        # and the /events SSE stream; ring-bounded so a long-running
+        # daemon's memory stays flat (decision_ring=0 disables it)
+        self.decision_recorder = (
+            DecisionRecorder(
+                ring_size=decision_ring,
+                journal=decision_journal,
+                registry=self.registry,
+                scheduler=scheduler.name,
+            )
+            if decision_ring > 0
+            else None
+        )
+        provenance_taps = (
+            (self.decision_recorder,) if self.decision_recorder else ()
+        )
         self.sim = Simulator(
             topo,
             scheduler,
@@ -142,6 +161,7 @@ class SchedulerService:
                 _LifecycleBridge(self),
                 sim_telemetry,
                 self._snapshots,
+                *provenance_taps,
                 *extra_observers,
             ],
         )
@@ -462,7 +482,9 @@ class ServiceServer(IntrospectionServer):
 
     Inherits ``GET /metrics`` (simulation + service families on one
     registry), ``/healthz``, ``/state`` (now carrying the job-state
-    table) and ``/alerts``; adds:
+    table), ``/alerts``, and — when the service keeps a decision
+    recorder — ``/decisions``, ``/explain/<id>`` and the ``/events``
+    SSE stream; adds:
 
     * ``POST /submit`` — manifest-format job object (+ optional
       ``priority``); 202 admitted, 4xx with a reason otherwise;
@@ -486,8 +508,19 @@ class ServiceServer(IntrospectionServer):
             watchdog,
             host=host,
             port=port,
+            recorder=service.decision_recorder,
         )
         self.service = service
+
+    def explain_document(self, job_id: str, decisions: list) -> dict:
+        doc = super().explain_document(job_id, decisions)
+        # enrich with the daemon's lifecycle view so one GET answers
+        # both "why" and "where is it now"
+        try:
+            doc["state"] = self.service.lifecycle.state(job_id).value
+        except KeyError:
+            pass
+        return doc
 
     # ------------------------------------------------------------------
     def get_routes(self):
@@ -504,7 +537,7 @@ class ServiceServer(IntrospectionServer):
                 return json_response(200, self.service.job_status(job_id))
             except KeyError:
                 return json_response(404, {"error": f"unknown job {job_id!r}"})
-        return None
+        return super().dispatch_get(path)
 
     def post_routes(self):
         return {

@@ -122,6 +122,10 @@ class Simulator:
         self._records: RecordKeeper | None = None
         self._accounting: DecisionAccounting | None = None
         self._notify: CompositeObserver | None = None
+        #: decision flight recorder found among the observers (see
+        #: start()); threaded through the SchedulingContext so the
+        #: scheduler can emit provenance records
+        self.decision_recorder = None
 
     # ------------------------------------------------------------------
     # cluster-state views (back-compat with the pre-layered engine)
@@ -159,6 +163,18 @@ class Simulator:
         self._accounting = DecisionAccounting()
         self._notify = CompositeObserver(
             [self._records, self._accounting, *self.observers]
+        )
+        # duck-typed discovery: an attached DecisionRecorder advertises
+        # wants_decision_provenance, and run_round threads it through
+        # the SchedulingContext (None — the default — keeps the
+        # scheduler's hot path provenance-free)
+        self.decision_recorder = next(
+            (
+                o
+                for o in self.observers
+                if getattr(o, "wants_decision_provenance", False)
+            ),
+            None,
         )
         self._events = EventQueue()
         for job in self.jobs:
@@ -285,6 +301,7 @@ class Simulator:
             co_runners=cluster.co_runners(),
             now=t,
             cluster=cluster,
+            recorder=self.decision_recorder,
         )
         t0 = self.decision_clock()
         placements = scheduler.schedule(ctx)

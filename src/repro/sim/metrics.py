@@ -211,6 +211,7 @@ def summarize(result: SimulationResult) -> dict:
         "mean_waiting_s": mean_waiting_time(records),
         "mean_utility": mean_utility(records),
         "slo_violations": len(slo_violations(result.records)),
+        "alerts": len(result.alerts),
         "mean_decision_time_s": result.mean_decision_time_s,
     }
 
@@ -277,11 +278,12 @@ def comparison_table(results: Sequence[SimulationResult]) -> str:
         ("mean_total_slowdown", "{:>9.3f}"),
         ("mean_waiting_s", "{:>9.1f}"),
         ("slo_violations", "{:>6d}"),
+        ("alerts", "{:>7d}"),
         ("mean_utility", "{:>8.3f}"),
     ]
     header = (
         f"{'scheduler':<14}{'makespan':>10}{'qos-slow':>9}"
-        f"{'tot-slow':>9}{'wait-s':>9}{'viol':>6}{'utility':>8}"
+        f"{'tot-slow':>9}{'wait-s':>9}{'viol':>6}{'alerts':>7}{'utility':>8}"
     )
     lines = [header]
     for row in rows:

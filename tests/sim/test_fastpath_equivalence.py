@@ -61,11 +61,16 @@ def test_table1_memo_on_off_identical(scheduler_name):
 @pytest.mark.parametrize("scheduler_name", ["TOPO-AWARE", "TOPO-AWARE-P"])
 def test_fully_instrumented_run_identical_to_bare(scheduler_name):
     """The whole observability stack is a tap: running with the
-    introspection server live, span recording on, and telemetry +
-    watchdog + snapshot observers attached must reproduce the bare
-    run's records bit-for-bit."""
+    introspection server live (SSE stream included), span recording
+    on, and telemetry + watchdog + snapshot + decision-provenance
+    observers attached must reproduce the bare run's records
+    bit-for-bit."""
+    import tempfile
+    from pathlib import Path
+
     from repro.obs import EventLog, MetricsRegistry
     from repro.obs.alerts import DEFAULT_RULES, Watchdog
+    from repro.obs.provenance import DecisionRecorder, read_decisions
     from repro.obs.server import IntrospectionServer
     from repro.obs.state import SnapshotObserver, SnapshotPublisher
     from repro.obs.telemetry import TelemetryObserver
@@ -81,12 +86,16 @@ def test_fully_instrumented_run_identical_to_bare(scheduler_name):
     log = EventLog()
     publisher = SnapshotPublisher()
     watchdog = Watchdog(registry, log, DEFAULT_RULES, scheduler=scheduler_name)
+    recorder = DecisionRecorder(
+        journal=True, registry=registry, scheduler=scheduler_name
+    )
     observers = (
         TelemetryObserver(registry, log, scheduler=scheduler_name),
         watchdog,
         SnapshotObserver(publisher),
+        recorder,
     )
-    with IntrospectionServer(publisher, registry, watchdog):
+    with IntrospectionServer(publisher, registry, watchdog, recorder=recorder):
         with recording():
             instrumented = run_with_observers(
                 cluster(3),
@@ -104,12 +113,21 @@ def test_fully_instrumented_run_identical_to_bare(scheduler_name):
     assert registry.get("repro_jobs_finished_total").value(
         scheduler=scheduler_name
     ) == len(jobs)
+    # the recorder captured every placement and its journal round-trips
+    assert recorder.counts()["recorded"] > 0
+    assert registry.get("repro_decisions_recorded_total").value(
+        scheduler=scheduler_name
+    ) == recorder.counts()["recorded"]
+    with tempfile.TemporaryDirectory() as tmp:
+        journal_path = recorder.write_journal(Path(tmp) / "d.jsonl")
+        assert len(read_decisions(journal_path)) == len(recorder.journal)
 
 
 def test_check_equivalence_reports_identical():
     jobs = scenario1_jobs(30, seed=42)
     verdict = check_equivalence(jobs, 5)
     assert verdict["identical"] is True
+    assert verdict["recorder_identical"] is True
     assert verdict["scheduler"] == "TOPO-AWARE"
     assert set(verdict["memo_stats"]) == {
         "hits",
@@ -117,3 +135,5 @@ def test_check_equivalence_reports_identical():
         "invalidations",
         "hit_rate",
     }
+    assert verdict["decision_stats"]["recorded"] > 0
+    assert verdict["decision_stats"]["dropped"] == 0
