@@ -35,6 +35,14 @@ def _pool_summary(pools: dict | None) -> str:
     )
     if prune_bits:
         line += f"; pruned: {prune_bits}"
+    prefilter = pools.get("prefilter")
+    if prefilter:
+        line += (
+            f"\n  prefilter: probed {prefilter.get('considered', 0)} host(s) "
+            f"(top-k={prefilter.get('k')}), skipped "
+            f"{prefilter.get('pruned', 0)} capacity-eligible host(s) the "
+            f"tightest-fit scan could never pick"
+        )
     return line
 
 

@@ -14,8 +14,13 @@ from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import Mapping
 
-from repro.core.constraints import CandidatePool, filter_hosts
-from repro.core.drb import drb_map
+from repro.core.constraints import (
+    CandidatePool,
+    CandidatePrefilter,
+    PrefilterStats,
+    filter_hosts,
+)
+from repro.core.drb import BipartitionCache, drb_map
 from repro.core.utility import SolutionMetrics, UtilityParams, evaluate_solution
 from repro.perf.interference import InterferenceModel
 from repro.topology.allocation import AllocationState
@@ -99,6 +104,18 @@ class PlacementEngine:
     the cluster has returned to a state in which the seed engine would
     recompute the identical answer.  Stale-pool entries age out of the
     LRU naturally.  ``0`` disables memoisation entirely.
+
+    Two further fast paths, both bit-identical by construction (see
+    DESIGN.md §9) and independently switchable for A/B verification:
+
+    * ``incremental_drb`` keeps a :class:`BipartitionCache` synced to
+      the allocation epoch, reusing physical splits and side metrics
+      across proposals and patching only the subtrees whose machines
+      changed between rounds;
+    * ``prefilter`` draws host candidates from the allocator's
+      capacity-bucket index and stops probing once :attr:`max_pools`
+      machines survived every constraint, instead of scanning the whole
+      fleet per proposal.
     """
 
     def __init__(
@@ -109,6 +126,9 @@ class PlacementEngine:
         profiles: ProfileDatabase | None = None,
         interference_model: InterferenceModel | None = None,
         memo_size: int = 512,
+        *,
+        incremental_drb: bool = True,
+        prefilter: bool = True,
     ) -> None:
         self.topo = topo
         self.alloc = alloc
@@ -120,6 +140,12 @@ class PlacementEngine:
         self.stats = PlacementStats()
         self._memo: OrderedDict[tuple, PlacementSolution | None] = OrderedDict()
         self._memo_version = -1
+        self.drb_cache = BipartitionCache(topo) if incremental_drb else None
+        self.prefilter = (
+            CandidatePrefilter(self.max_pools, PrefilterStats())
+            if prefilter
+            else None
+        )
 
     def _max_pair_bandwidth(self) -> float:
         """Best GPU-pair bandwidth on the first machine (normalisation base)."""
@@ -213,6 +239,12 @@ class PlacementEngine:
                 filter_hosts(
                     self.topo, self.alloc, job, co_runners, self.profiles,
                     report=report,
+                    # stats-less clone: the re-report is a pure tap and
+                    # must not perturb the engine's prefilter counters
+                    prefilter=(
+                        None if self.prefilter is None
+                        else self.prefilter.readonly()
+                    ),
                 )
                 provenance["pools"] = report
             if cached is None:
@@ -233,10 +265,17 @@ class PlacementEngine:
         co_runners: Mapping[str, tuple[Job, frozenset[str]]],
         provenance: dict | None = None,
     ) -> PlacementSolution | None:
+        if self.drb_cache is not None:
+            self.drb_cache.sync(self.alloc)
+        if self.prefilter is not None:
+            # k tracks the engine's pool budget: probing may stop only
+            # once the budget the loop below consumes is full
+            self.prefilter.top_k = self.max_pools
         report = {} if provenance is not None else None
         pools = filter_hosts(
             self.topo, self.alloc, job, co_runners, self.profiles,
             report=report,
+            prefilter=self.prefilter,
         )
         if provenance is not None:
             provenance["pools"] = report
@@ -290,6 +329,7 @@ class PlacementEngine:
                     co_runners,
                     self.params,
                     self.interference,
+                    cache=self.drb_cache,
                 )
             except ValueError:
                 return None
@@ -307,6 +347,7 @@ class PlacementEngine:
             co_runners,
             self.params,
             self.interference,
+            cache=self.drb_cache,
         )
         return PlacementSolution(
             job_id=job.job_id,
@@ -382,8 +423,15 @@ class PlacementEngine:
         exactly what :meth:`propose` would return.
         """
         co_runners = co_runners or {}
+        if self.drb_cache is not None:
+            self.drb_cache.sync(self.alloc)
         pools = filter_hosts(
-            self.topo, self.alloc, job, co_runners, self.profiles
+            self.topo, self.alloc, job, co_runners, self.profiles,
+            # operator-facing inspection is a tap: same pruning, but it
+            # must not count into the engine's prefilter statistics
+            prefilter=(
+                None if self.prefilter is None else self.prefilter.readonly()
+            ),
         )
         jobgraph = self.job_graph(job)
         candidates = []
@@ -393,6 +441,16 @@ class PlacementEngine:
                 candidates.append(solution)
         candidates.sort(key=lambda s: -s.utility)
         return candidates
+
+    def drb_stats(self) -> dict:
+        """Incremental-DRB reuse counters ({} when the path is off)."""
+        return {} if self.drb_cache is None else self.drb_cache.stats.as_dict()
+
+    def prefilter_stats(self) -> dict:
+        """Prefilter hit counters ({} when the path is off)."""
+        if self.prefilter is None or self.prefilter.stats is None:
+            return {}
+        return self.prefilter.stats.as_dict()
 
     def p2p_attainable(self, job: Job) -> bool:
         """Whether any allocation on this hardware could give the job

@@ -7,7 +7,8 @@ and the rest of the obs stack records *when* each phase ran but not
 schema-versioned record per scheduling decision:
 
 * candidate pool sizes and prune reasons from ``filter_hosts`` and the
-  scheduler's O(1) capacity pruning;
+  scheduler's O(1) capacity pruning (see :data:`PRUNE_REASONS`;
+  includes the top-k candidate prefilter's skip tally);
 * memo hit/miss provenance from ``PlacementEngine.propose``;
 * the per-term utility breakdown (communication cost, interference,
   fragmentation, each with its normalisation bounds and weighted
@@ -62,6 +63,21 @@ PROVENANCE_SCHEMA_VERSION = 1
 
 #: verdicts a decision record may carry
 DECISION_VERDICTS = ("placed", "postponed", "no-fit")
+
+#: prune reasons a decision's candidate-pool report may tally, i.e.
+#: the keys of ``pools["pruned"]``.  ``"prefilter"`` counts
+#: capacity-eligible hosts the top-k candidate prefilter never probed
+#: (skipped by the capacity-dominance argument, not by a constraint
+#: check); the others count hosts a constraint actively rejected.
+#: When the prefilter ran, the report also carries a ``"prefilter"``
+#: sub-dict (``k`` / ``considered`` / ``pruned``) so ``repro explain``
+#: can show why hosts were excluded from DRB evaluation.
+PRUNE_REASONS = (
+    "free-gpus",
+    "bus-bandwidth",
+    "anti-collocation",
+    "prefilter",
+)
 
 #: fields every decision-kind record must carry (reader validation)
 _DECISION_REQUIRED = ("seq", "round", "t", "scheduler", "job_id", "verdict")

@@ -29,6 +29,16 @@ repro_gpu_utilization                   gauge      busy fraction of all GPUs
 repro_decision_latency_seconds          histogram  wall-clock per decision round
 repro_job_waiting_seconds               histogram  arrival -> placement delay
 repro_placement_utility                 histogram  chosen normalised utility
+repro_placement_prefilter_considered_total  counter  hosts probed by the top-k
+                                                     candidate prefilter
+repro_placement_prefilter_pruned_total  counter    capacity-eligible hosts the
+                                                   prefilter never probed
+repro_drb_splits_reused_total           counter    physical bipartitions served
+                                                   from the incremental cache
+repro_drb_splits_computed_total         counter    physical bipartitions solved
+                                                   from scratch
+repro_drb_rounds_rebuilt_total          counter    cache syncs that fell back to
+                                                   a full split-tree rebuild
 ======================================  =========  =============================
 """
 
@@ -129,6 +139,24 @@ class TelemetryObserver(BaseObserver):
         self._memo_hit_rate = reg.gauge(
             "repro_placement_cache_hit_rate",
             "Fraction of proposals served from the placement memo.", labels)
+        self._prefilter_considered = reg.counter(
+            "repro_placement_prefilter_considered_total",
+            "Hosts probed by the top-k candidate prefilter.", labels)
+        self._prefilter_pruned = reg.counter(
+            "repro_placement_prefilter_pruned_total",
+            "Capacity-eligible hosts the prefilter never had to probe.",
+            labels)
+        self._drb_reused = reg.counter(
+            "repro_drb_splits_reused_total",
+            "Physical bipartitions served from the incremental DRB cache.",
+            labels)
+        self._drb_computed = reg.counter(
+            "repro_drb_splits_computed_total",
+            "Physical bipartitions solved from scratch.", labels)
+        self._drb_rebuilt = reg.counter(
+            "repro_drb_rounds_rebuilt_total",
+            "DRB cache syncs that fell back to a full split-tree rebuild.",
+            labels)
 
     # ------------------------------------------------------------------
     def _gpu_gauges(self) -> None:
@@ -168,6 +196,27 @@ class TelemetryObserver(BaseObserver):
                 stats.get("invalidations", 0), scheduler=sched
             )
             self._memo_hit_rate.set(stats.get("hit_rate", 0.0), scheduler=sched)
+        pf_stats = getattr(result, "prefilter_stats", None) or {}
+        if pf_stats:
+            sched = self.scheduler
+            self._prefilter_considered.inc(
+                pf_stats.get("considered", 0), scheduler=sched
+            )
+            self._prefilter_pruned.inc(
+                pf_stats.get("pruned", 0), scheduler=sched
+            )
+        drb_stats = getattr(result, "drb_stats", None) or {}
+        if drb_stats:
+            sched = self.scheduler
+            self._drb_reused.inc(
+                drb_stats.get("splits_reused", 0), scheduler=sched
+            )
+            self._drb_computed.inc(
+                drb_stats.get("splits_computed", 0), scheduler=sched
+            )
+            self._drb_rebuilt.inc(
+                drb_stats.get("rounds_rebuilt", 0), scheduler=sched
+            )
         self._emit(
             "run_end",
             result.makespan,
@@ -175,6 +224,8 @@ class TelemetryObserver(BaseObserver):
             finished=finished,
             unplaceable=unplaceable,
             **({"placement_cache": stats} if stats else {}),
+            **({"prefilter": pf_stats} if pf_stats else {}),
+            **({"drb_cache": drb_stats} if drb_stats else {}),
         )
 
     def finalize_result(self, result) -> None:

@@ -131,6 +131,8 @@ class InterferenceModel:
     ) -> None:
         self.topo = topo
         self.cal = cal
+        # machine set per GPU set: pure in the (immutable) topology
+        self._machines_memo: dict[frozenset[str], tuple[str, ...]] = {}
 
     def slowdown_factor(
         self,
@@ -168,7 +170,12 @@ class InterferenceModel:
         Only those can share buses; on large clusters this keeps the
         interference evaluation O(jobs on the machine), not O(all jobs).
         """
-        machines = {self.topo.machine_of(g) for g in gpus}
+        machines = self._machines_memo.get(gpus)
+        if machines is None:
+            if len(self._machines_memo) > 65536:
+                self._machines_memo.clear()
+            machines = tuple({self.topo.machine_of(g) for g in gpus})
+            self._machines_memo[gpus] = machines
         relevant: set[str] = set()
         for m in machines:
             relevant |= alloc.jobs_on_machine(m)

@@ -56,9 +56,11 @@ class TopoAwareScheduler(Scheduler):
             ) as sp:
                 # capacity pruning: reject a job the cluster cannot hold
                 # before DRB runs.  Same no-fit answer (filter_hosts
-                # would return no pool), at O(1) per job — but unlike
-                # the old silent skip it still emits the span and the
-                # no-fit outcome Algorithm 1's per-iteration pop implies.
+                # would return no pool), at O(1) per job — the aggregates
+                # come from the allocator's maintained capacity-bucket
+                # index — and unlike the old silent skip it still emits
+                # the span and the no-fit outcome Algorithm 1's
+                # per-iteration pop implies.
                 if (job.single_node and job.num_gpus > max_free) or (
                     not job.single_node and job.num_gpus > total_free
                 ):
@@ -75,6 +77,13 @@ class TopoAwareScheduler(Scheduler):
                                 "max_free": max_free,
                                 "total_free": total_free,
                                 "single_node": job.single_node,
+                                # hosts that could hold the job whole,
+                                # straight off the bucket index (tap)
+                                "eligible_hosts": (
+                                    ctx.alloc.eligible_machine_count(
+                                        job.num_gpus
+                                    )
+                                ),
                             },
                         )
                     continue

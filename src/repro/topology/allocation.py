@@ -12,8 +12,9 @@ access; only buses are shared).
 from __future__ import annotations
 
 import itertools
-from collections import OrderedDict
-from typing import FrozenSet, Iterable, Mapping
+from bisect import bisect_left, insort
+from collections import OrderedDict, deque
+from typing import Iterable, Iterator, Mapping
 
 from repro.topology.graph import NodeKind, TopologyGraph
 
@@ -25,6 +26,14 @@ class AllocationError(RuntimeError):
 #: bound on the GPU-set -> bus-links memo; old entries are evicted in
 #: LRU order so 10k-job churn cannot grow the cache without limit.
 LINKS_CACHE_MAX = 4096
+
+#: how many recent mutations the per-machine delta log remembers.
+#: Consumers (the incremental DRB tree) ask "which machines changed
+#: since epoch v?"; when v has already scrolled out of the log the
+#: answer is "unknown" and they fall back to a full rebuild, so the
+#: bound trades memory for incremental-reuse opportunity only — never
+#: correctness.
+DELTA_LOG_MAX = 512
 
 
 class AllocationState:
@@ -46,6 +55,9 @@ class AllocationState:
         self._links_cache: OrderedDict[
             frozenset[str], frozenset[tuple[str, str]]
         ] = OrderedDict()
+        self._share_cache: OrderedDict[
+            tuple[frozenset[str], frozenset[str]], float
+        ] = OrderedDict()
         # O(1) per-machine free-count bookkeeping for large clusters
         self._free_count: dict[str, int] = {
             m: len(topo.gpus(machine=m)) for m in topo.machines()
@@ -56,6 +68,51 @@ class AllocationState:
         self._signature_version = -1
         self._pool_key: tuple | None = None
         self._pool_key_version = -1
+        # maintained aggregates for O(1) capacity queries at fleet scale:
+        # the set of unowned GPU ids (health-agnostic, mirrors the pool
+        # key), the healthy-machine free total, and a capacity-bucket
+        # index free-count -> sorted machine names (healthy machines
+        # only) that lets the candidate prefilter walk hosts in exactly
+        # the (free count asc, name asc) order the exhaustive scan sorts
+        # them into — without visiting machines that cannot qualify.
+        self._free_set: set[str] = set(self._all_gpus)
+        self._total_free: int = len(self._all_gpus)
+        self._buckets: dict[int, list[str]] = {}
+        for m, c in self._free_count.items():
+            self._buckets.setdefault(c, []).append(m)
+        for lst in self._buckets.values():
+            lst.sort()
+        # per-machine pool epochs + a bounded log of which machines each
+        # global epoch touched, so incremental consumers (the DRB split
+        # cache) can patch instead of rebuilding.
+        self._machine_version: dict[str, int] = {m: 0 for m in topo.machines()}
+        self._delta_log: deque[frozenset[str]] = deque(maxlen=DELTA_LOG_MAX)
+
+    # ------------------------------------------------------------------
+    # capacity-bucket maintenance
+    # ------------------------------------------------------------------
+    def _bucket_discard(self, machine: str, count: int) -> None:
+        lst = self._buckets.get(count)
+        if lst is None:
+            return
+        i = bisect_left(lst, machine)
+        if i < len(lst) and lst[i] == machine:
+            del lst[i]
+            if not lst:
+                del self._buckets[count]
+
+    def _bucket_add(self, machine: str, count: int) -> None:
+        insort(self._buckets.setdefault(count, []), machine)
+
+    def _apply_free_delta(self, machine: str, delta: int) -> None:
+        old = self._free_count[machine]
+        new = old + delta
+        self._free_count[machine] = new
+        self._machine_version[machine] += 1
+        if machine not in self._down_machines:
+            self._total_free += delta
+            self._bucket_discard(machine, old)
+            self._bucket_add(machine, new)
 
     # ------------------------------------------------------------------
     # mutation
@@ -75,23 +132,35 @@ class AllocationState:
         for g in gpu_set:
             self._gpu_owner[g] = job_id
         self._job_gpus[job_id] = gpu_set
-        for m in {self.topo.machine_of(g) for g in gpu_set}:
-            self._jobs_by_machine[m].add(job_id)
+        self._free_set.difference_update(gpu_set)
+        taken: dict[str, int] = {}
         for g in gpu_set:
-            self._free_count[self.topo.machine_of(g)] -= 1
+            m = self.topo.machine_of(g)
+            taken[m] = taken.get(m, 0) + 1
+        for m in taken:
+            self._jobs_by_machine[m].add(job_id)
+        for m, n in taken.items():
+            self._apply_free_delta(m, -n)
         self.version += 1
+        self._delta_log.append(frozenset(taken))
 
     def release(self, job_id: str) -> frozenset[str]:
         try:
             gpus = self._job_gpus.pop(job_id)
         except KeyError:
             raise AllocationError(f"job {job_id!r} has no allocation") from None
+        freed: dict[str, int] = {}
         for g in gpus:
             del self._gpu_owner[g]
-            self._free_count[self.topo.machine_of(g)] += 1
-        for m in {self.topo.machine_of(g) for g in gpus}:
+            m = self.topo.machine_of(g)
+            freed[m] = freed.get(m, 0) + 1
+        self._free_set.update(gpus)
+        for m in freed:
             self._jobs_by_machine[m].discard(job_id)
+        for m, n in freed.items():
+            self._apply_free_delta(m, n)
         self.version += 1
+        self._delta_log.append(frozenset(freed))
         return gpus
 
     # ------------------------------------------------------------------
@@ -135,26 +204,60 @@ class AllocationState:
         return self._free_count[machine]
 
     def max_free_count(self) -> int:
-        """Largest per-machine free-GPU count, O(machines).
+        """Largest per-machine free-GPU count.
 
         Schedulers use it to skip queued jobs that cannot fit anywhere
-        without probing every machine per job.
+        without probing every machine per job.  O(distinct free counts),
+        i.e. bounded by GPUs-per-machine — not O(machines) — thanks to
+        the maintained capacity-bucket index.
         """
-        return max(
-            (c for m, c in self._free_count.items() if m not in self._down_machines),
-            default=0,
-        )
+        return max(self._buckets, default=0)
 
     def total_free_count(self) -> int:
-        """Free GPUs across all healthy machines, O(machines).
+        """Free GPUs across all healthy machines, O(1) (maintained).
 
         The capacity ceiling for machine-spanning placements: a job
         needing more GPUs than this cannot fit even when allowed to
         span machines.
         """
+        return self._total_free
+
+    def eligible_machine_count(self, min_free: int) -> int:
+        """How many healthy machines have ``>= min_free`` free GPUs.
+
+        O(distinct free counts); the prefilter uses it to report the
+        exact same free-GPU prune tally the exhaustive scan would have,
+        without visiting the pruned machines.
+        """
         return sum(
-            c for m, c in self._free_count.items() if m not in self._down_machines
+            len(lst) for c, lst in self._buckets.items() if c >= min_free
         )
+
+    def candidate_machines(self, min_free: int) -> Iterator[str]:
+        """Healthy machines with ``>= min_free`` free GPUs, in the
+        exhaustive scan's survivor order: (free count asc, name asc).
+
+        This is the capacity-dominance iterator behind the top-k
+        prefilter: because host filtering sorts eligible machines by
+        exactly this key before truncating to the engine's pool budget,
+        probing candidates in this order and stopping once the budget
+        is full provably yields the same pool list as scanning every
+        machine.  The iterator is lazy — callers that stop early never
+        pay for the tail.  Do not mutate the allocation mid-iteration.
+        """
+        for c in sorted(k for k in self._buckets if k >= min_free):
+            yield from self._buckets[c]
+
+    def machines_by_free_desc(self) -> Iterator[tuple[int, str]]:
+        """Healthy machines with free GPUs, most-free first, ties by
+        name — the machine-spanning pool's greedy accumulation order.
+
+        Yields ``(free_count, machine)`` pairs lazily so the spanning
+        path can stop as soon as it has gathered enough GPUs.
+        """
+        for c in sorted((k for k in self._buckets if k > 0), reverse=True):
+            for m in self._buckets[c]:
+                yield c, m
 
     def free_pool_signature(self) -> tuple:
         """Hashable snapshot of per-machine free capacity and health.
@@ -187,13 +290,47 @@ class AllocationState:
         the stored hash on every memo lookup.
         """
         if self._pool_key_version != self.version:
-            owner = self._gpu_owner
             self._pool_key = (
-                frozenset(g for g in self._all_gpus if g not in owner),
+                frozenset(self._free_set),
                 frozenset(self._down_machines),
             )
             self._pool_key_version = self.version
         return self._pool_key
+
+    # ------------------------------------------------------------------
+    # incremental-consumer epoch plumbing
+    # ------------------------------------------------------------------
+    def machine_pool_version(self, machine: str) -> int:
+        """Per-machine pool epoch: bumped whenever the machine's free
+        pool or health changes.  Pins everything derivable from the
+        machine's occupancy — which GPUs are free, which jobs hold GPUs
+        there and with what GPU sets — so version-keyed memo entries
+        (socket fragmentation, Eq. 4 interference per candidate side)
+        stay valid exactly as long as every pinned machine is untouched.
+        """
+        try:
+            return self._machine_version[machine]
+        except KeyError:
+            raise AllocationError(f"unknown machine {machine!r}") from None
+
+    def machines_changed_since(self, version: int) -> frozenset[str] | None:
+        """Machines touched by any mutation after global epoch
+        ``version``, or ``None`` when that epoch has scrolled out of
+        the bounded delta log (consumers must then rebuild from
+        scratch).  Each epoch bump appends exactly one log entry, so
+        the last ``self.version - version`` entries cover the gap.
+        """
+        missing = self.version - version
+        if missing <= 0:
+            return frozenset()
+        if missing > len(self._delta_log):
+            return None
+        changed: set[str] = set()
+        for i, machines in enumerate(reversed(self._delta_log)):
+            if i >= missing:
+                break
+            changed |= machines
+        return frozenset(changed)
 
     # ------------------------------------------------------------------
     # machine health (failure injection)
@@ -209,8 +346,13 @@ class AllocationState:
         if machine not in self._free_count:
             raise AllocationError(f"unknown machine {machine!r}")
         if machine not in self._down_machines:
+            count = self._free_count[machine]
+            self._bucket_discard(machine, count)
+            self._total_free -= count
             self._down_machines.add(machine)
+            self._machine_version[machine] += 1
             self.version += 1
+            self._delta_log.append(frozenset((machine,)))
         return sorted(self._jobs_by_machine[machine])
 
     def set_machine_up(self, machine: str) -> None:
@@ -225,7 +367,12 @@ class AllocationState:
             raise AllocationError(f"unknown machine {machine!r}")
         if machine in self._down_machines:
             self._down_machines.discard(machine)
+            count = self._free_count[machine]
+            self._bucket_add(machine, count)
+            self._total_free += count
+            self._machine_version[machine] += 1
             self.version += 1
+            self._delta_log.append(frozenset((machine,)))
 
     def is_machine_up(self, machine: str) -> bool:
         return machine not in self._down_machines
@@ -310,12 +457,26 @@ class AllocationState:
         0 means fully disjoint buses (no direct contention channel);
         1 means every link A uses is also used by B.  Used to scale the
         profile-table interference between co-located jobs.
+
+        Pure in the topology (bus footprints never change while the
+        graph lives), so the pair result is memoised: interference
+        evaluation revisits the same co-runner pairs every round.
         """
-        links_a = self.links_used(gpus_a)
+        key = (frozenset(gpus_a), frozenset(gpus_b))
+        cached = self._share_cache.get(key)
+        if cached is not None:
+            self._share_cache.move_to_end(key)
+            return cached
+        links_a = self.links_used(key[0])
         if not links_a:
-            return 0.0
-        shared = links_a & self.links_used(gpus_b)
-        return len(shared) / len(links_a)
+            result = 0.0
+        else:
+            shared = links_a & self.links_used(key[1])
+            result = len(shared) / len(links_a)
+        self._share_cache[key] = result
+        if len(self._share_cache) > LINKS_CACHE_MAX:
+            self._share_cache.popitem(last=False)
+        return result
 
     def link_utilization(
         self,

@@ -20,6 +20,7 @@ from __future__ import annotations
 import enum
 import heapq
 import itertools
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
@@ -36,6 +37,14 @@ class TopologyError(ValueError):
 #: all-pairs GPU distance matrix (memory grows as ``n_gpus**2``) and
 #: keep the per-source Dijkstra cache as their only fast path.
 MATRIX_MAX_GPUS = 2048
+
+#: bound on cached *unscoped* per-source Dijkstra results.  Above the
+#: matrix cap every cross-machine distance query falls back to these,
+#: and each one holds a distance for every node in the graph — on a
+#: 1k-machine fleet that is ~9k entries per source, so caching one per
+#: GPU would grow without limit.  Eviction is LRU and only ever forces
+#: a recompute, never a different answer.
+DIST_UNSCOPED_CACHE_MAX = 128
 
 
 class NodeKind(enum.Enum):
@@ -98,6 +107,15 @@ class _Caches:
     #: GPUs) and callers fall through to the per-source Dijkstra path.
     gpu_index: dict[str, int] | None = None
     gpu_rows: list[list[float]] | None = None
+    #: LRU order of unscoped entries in ``dist`` (see
+    #: :data:`DIST_UNSCOPED_CACHE_MAX`); values are unused.
+    dist_unscoped_lru: "OrderedDict[tuple[str, str | None], None]" = field(
+        default_factory=OrderedDict
+    )
+    #: representative machine-to-machine distances and per-anchor
+    #: proximity rankings (diagnostics / provenance enrichment).
+    machine_dist: dict[tuple[str, str], float] = field(default_factory=dict)
+    proximity: dict[str, tuple[str, ...]] = field(default_factory=dict)
 
     def clear(self) -> None:
         self.dist.clear()
@@ -109,6 +127,9 @@ class _Caches:
         self.socket_map.clear()
         self.gpu_index = None
         self.gpu_rows = None
+        self.dist_unscoped_lru.clear()
+        self.machine_dist.clear()
+        self.proximity.clear()
 
 
 class TopologyGraph:
@@ -210,11 +231,32 @@ class TopologyGraph:
             raise TopologyError(f"no edge {u!r} -- {v!r}") from None
 
     def gpus(self, machine: str | None = None, socket: str | None = None) -> list[str]:
-        """GPU node names, sorted by (machine, gpu_index).  Cached."""
+        """GPU node names, sorted by (machine, gpu_index).  Cached.
+
+        Single-filter misses (one machine, or one socket) fill the
+        cache for *every* machine/socket in one pass over the global
+        GPU list instead of rescanning all nodes per component — on a
+        1k-machine fleet the per-component scans would otherwise
+        dominate first-touch scheduling rounds.  Grouping the global
+        (machine, gpu_index)-sorted list preserves each group's order,
+        so the lists are identical to a filtered scan.
+        """
         key = (machine, socket)
         cached = self._caches.gpu_lists.get(key)
         if cached is not None:
             return list(cached)
+        if (machine is None) != (socket is None):
+            groups: dict[tuple[str | None, str | None], list[str]] = {}
+            field_is_machine = socket is None
+            for name in self.gpus():
+                node = self._nodes[name]
+                group_key = (
+                    (node.machine, None) if field_is_machine else (None, node.socket)
+                )
+                groups.setdefault(group_key, []).append(name)
+            for group_key, names in groups.items():
+                self._caches.gpu_lists.setdefault(group_key, names)
+            return list(self._caches.gpu_lists.setdefault(key, []))
         out = [
             n
             for n in self._nodes.values()
@@ -292,6 +334,8 @@ class TopologyGraph:
         key = (source, scope_machine)
         cached = self._caches.dist.get(key)
         if cached is not None:
+            if scope_machine is None and key in self._caches.dist_unscoped_lru:
+                self._caches.dist_unscoped_lru.move_to_end(key)
             return cached
         self.node(source)
         dist: dict[str, float] = {source: 0.0}
@@ -316,6 +360,16 @@ class TopologyGraph:
                     dist[v] = nd
                     heapq.heappush(heap, (nd, v))
         self._caches.dist[key] = dist
+        if scope_machine is None:
+            # unscoped rows are graph-sized; keep only the hottest few
+            # (see DIST_UNSCOPED_CACHE_MAX) so above-matrix-cap fleets
+            # do not accumulate one full-graph dict per GPU.
+            lru = self._caches.dist_unscoped_lru
+            lru[key] = None
+            lru.move_to_end(key)
+            while len(lru) > DIST_UNSCOPED_CACHE_MAX:
+                old, _ = lru.popitem(last=False)
+                self._caches.dist.pop(old, None)
         return dist
 
     def _scope_for(self, u: str, v: str) -> str | None:
@@ -367,6 +421,7 @@ class TopologyGraph:
             rows.append(row)
             if fresh:
                 caches.dist.pop((u, None), None)
+                caches.dist_unscoped_lru.pop((u, None), None)
         caches.gpu_index = index
         caches.gpu_rows = rows
         return index
@@ -550,8 +605,61 @@ class TopologyGraph:
         for i, u in enumerate(names):
             dist = self._dijkstra(u, scope)
             for v in names[i + 1 :]:
-                total += dist[v]
+                try:
+                    total += dist[v]
+                except KeyError:
+                    raise TopologyError(
+                        f"{u!r} and {v!r} are disconnected"
+                    ) from None
         return total
+
+    def machine_distance(self, a: str, b: str) -> float:
+        """Representative inter-machine distance for proximity ranking.
+
+        The unscoped shortest-path distance between the machines' first
+        GPUs (machines are internally symmetric in the paper's
+        hierarchies, so any representative pair gives the same
+        cross-machine ranking); machines without GPUs fall back to the
+        machine nodes themselves.  Works identically above and below
+        the dense-matrix cap — above it the per-source Dijkstra fallback
+        serves the same values the matrix would have stored.  Cached per
+        unordered pair.  Diagnostics/provenance only: placement
+        tie-breaks stay on (capacity, name) so results are unaffected.
+        """
+        if a == b:
+            return 0.0
+        key = (a, b) if a <= b else (b, a)
+        cached = self._caches.machine_dist.get(key)
+        if cached is not None:
+            return cached
+        gpus_a = self.gpus(machine=a)
+        gpus_b = self.gpus(machine=b)
+        if gpus_a and gpus_b:
+            d = self.distance(gpus_a[0], gpus_b[0])
+        else:
+            d = self.distance(a, b)
+        self._caches.machine_dist[key] = d
+        return d
+
+    def machines_by_proximity(self, anchor: str) -> tuple[str, ...]:
+        """All other machines sorted by (distance from ``anchor``, name).
+
+        One unscoped Dijkstra from the anchor's representative GPU on
+        first use, then cached; used to annotate placement provenance
+        with how topologically far each candidate sits from an anchor
+        host.
+        """
+        cached = self._caches.proximity.get(anchor)
+        if cached is not None:
+            return cached
+        self.node(anchor)
+        ranked = sorted(
+            (m for m in self.machines() if m != anchor),
+            key=lambda m: (self.machine_distance(anchor, m), m),
+        )
+        result = tuple(ranked)
+        self._caches.proximity[anchor] = result
+        return result
 
     def diameter(self, names: Iterable[str] | None = None) -> float:
         """Largest pairwise distance among ``names`` (default: GPUs)."""

@@ -45,6 +45,38 @@ class TestRunBench:
     def test_equivalence_verified_by_default(self, tiny_bench):
         assert tiny_bench.equivalence is not None
         assert tiny_bench.equivalence["identical"] is True
+        assert tiny_bench.equivalence["fastpath_off_identical"] is True
+        assert tiny_bench.equivalence["drb_only_identical"] is True
+        assert tiny_bench.equivalence["prefilter_only_identical"] is True
+
+    def test_fastpath_section_reports_speedup_and_stats(self, tiny_bench):
+        fp = tiny_bench.fastpath
+        assert fp is not None and fp["scheduler"] == "TOPO-AWARE"
+        assert fp["fast_mean_decision_time_s"] > 0.0
+        assert fp["off_mean_decision_time_s"] > 0.0
+        assert fp["speedup_vs_off"] == pytest.approx(
+            fp["off_mean_decision_time_s"] / fp["fast_mean_decision_time_s"]
+        )
+        assert fp["drb_stats"]["splits_computed"] > 0
+        assert fp["prefilter_stats"]["calls"] > 0
+        # no external seed measurement was injected
+        assert "speedup_vs_seed" not in fp
+
+    def test_seed_baseline_recorded_verbatim(self):
+        bench = run_bench(
+            "fig10",
+            n_jobs=12,
+            n_machines=2,
+            schedulers=("TOPO-AWARE",),
+            repeats=1,
+            verify=False,
+            seed_baseline_s=1.0,
+        )
+        fp = bench.fastpath
+        assert fp["seed_mean_decision_time_s"] == 1.0
+        assert fp["speedup_vs_seed"] == pytest.approx(
+            1.0 / fp["fast_mean_decision_time_s"]
+        )
 
     def test_fig10_equivalence_has_nonzero_memo_hits(self):
         # full Fig. 10 scale: cross-epoch identity keying must actually
@@ -105,6 +137,31 @@ class TestArtifactAndBaseline:
         baseline.write_text(json.dumps({"schedulers": {}}))
         failures = compare_to_baseline(bench, baseline)
         assert any("equivalence" in f for f in failures)
+
+    def test_fastpath_matrix_failure_reported(self, tmp_path):
+        bench = BenchResult(scale="fig11", n_jobs=1, n_machines=1, repeats=1)
+        bench.equivalence = {
+            "scheduler": "TOPO-AWARE",
+            "identical": True,
+            "fastpath_off_identical": True,
+            "drb_only_identical": False,
+            "prefilter_only_identical": True,
+        }
+        baseline = tmp_path / "base.json"
+        baseline.write_text(json.dumps({"schedulers": {}}))
+        failures = compare_to_baseline(bench, baseline)
+        assert any("incremental DRB" in f for f in failures)
+
+    def test_min_speedup_floor(self, tiny_bench, tmp_path):
+        baseline = write_bench(tiny_bench, tmp_path / "base.json")
+        measured = tiny_bench.fastpath["speedup_vs_off"]
+        assert compare_to_baseline(
+            tiny_bench, baseline, min_speedup=measured * 0.5
+        ) == []
+        failures = compare_to_baseline(
+            tiny_bench, baseline, min_speedup=measured * 100
+        )
+        assert failures and any("speedup" in f for f in failures)
 
 
 class TestBenchCommand:

@@ -1,9 +1,12 @@
 """Tests for host filtering (filterHostsByConstraints)."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.core.constraints import (
     CandidatePool,
+    CandidatePrefilter,
+    PrefilterStats,
     filter_hosts,
     machine_bus_capacity,
 )
@@ -100,6 +103,112 @@ class TestSpanningPools:
             alloc.allocate(f"fill-{m}", small_cluster.gpus(machine=m))
         job = make_job(num_gpus=2, single_node=False)
         assert filter_hosts(small_cluster, alloc, job) == []
+
+
+class TestPrefilter:
+    """Top-k fast path: same pool prefix as the exhaustive scan."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        taken=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=9),  # machine
+                st.integers(min_value=1, max_value=4),  # gpus taken
+            ),
+            max_size=12,
+        ),
+        need=st.integers(min_value=1, max_value=4),
+        top_k=st.integers(min_value=1, max_value=10),
+    )
+    def test_prefix_identical_to_exhaustive(self, taken, need, top_k):
+        """Capacity dominance: for any fleet state and any k, the
+        prefiltered result equals the first k pools of the exhaustive
+        scan — so a caller consuming at most k pools (the engine) can
+        never see a different candidate set."""
+        topo = cluster(10)
+        alloc = AllocationState(topo)
+        for i, (m_idx, n) in enumerate(taken):
+            machine = f"m{m_idx}"
+            free = alloc.free_gpus(machine=machine)
+            if free:
+                alloc.allocate(f"t{i}", free[: min(n, len(free))])
+        job = make_job(num_gpus=need)
+        full = filter_hosts(topo, alloc, job)
+        fast = filter_hosts(
+            topo, alloc, job, prefilter=CandidatePrefilter(top_k)
+        )
+        assert fast == full[:top_k]
+
+    def test_engine_budget_never_loses_the_exhaustive_pick(self):
+        """Adaptive k (= the engine's ``max_pools``): the host the
+        exhaustive scan would hand the engine is always in the
+        prefiltered set, so the proposal is bit-identical."""
+        from repro.core.placement import PlacementEngine
+
+        topo = cluster(12)
+        alloc_a = AllocationState(topo)
+        alloc_b = AllocationState(topo)
+        # fragment the fleet so tightest-fit ordering actually matters
+        for i in range(8):
+            gpus = topo.gpus(machine=f"m{i}")[: (i % 4) + 1]
+            alloc_a.allocate(f"f{i}", gpus)
+            alloc_b.allocate(f"f{i}", gpus)
+        fast = PlacementEngine(topo, alloc_a, prefilter=True,
+                               incremental_drb=False)
+        slow = PlacementEngine(topo, alloc_b, prefilter=False,
+                               incremental_drb=False)
+        assert fast.prefilter.top_k == fast.max_pools
+        for need in (1, 2, 3, 4):
+            job = make_job(f"probe{need}", num_gpus=need)
+            a = fast.propose(job, {})
+            b = slow.propose(job, {})
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert a.gpus == b.gpus
+                assert a.utility == b.utility
+
+    def test_spanning_pool_identical(self, small_cluster):
+        alloc = AllocationState(small_cluster)
+        for m in small_cluster.machines():
+            alloc.allocate(f"fill-{m}", small_cluster.gpus(machine=m)[:3])
+        job = make_job(num_gpus=2, single_node=False)
+        full = filter_hosts(small_cluster, alloc, job)
+        fast = filter_hosts(
+            small_cluster, alloc, job, prefilter=CandidatePrefilter(8)
+        )
+        assert fast == full
+        assert fast[0].spans_machines
+
+    def test_stats_and_report_account_for_skipped_hosts(self):
+        topo = cluster(10)
+        alloc = AllocationState(topo)
+        stats = PrefilterStats()
+        report = {}
+        job = make_job(num_gpus=1)
+        pools = filter_hosts(
+            topo, alloc, job,
+            report=report,
+            prefilter=CandidatePrefilter(2, stats),
+        )
+        assert len(pools) == 2  # probing stopped at k survivors
+        assert stats.calls == 1
+        assert stats.considered == 2
+        assert stats.pruned == 8  # capacity-eligible but never probed
+        assert report["prefilter"] == {"k": 2, "considered": 2, "pruned": 8}
+        assert report["pruned"]["prefilter"] == 8
+        assert stats.as_dict()["prune_rate"] == pytest.approx(0.8)
+
+    def test_readonly_clone_counts_nothing(self):
+        stats = PrefilterStats()
+        pf = CandidatePrefilter(4, stats)
+        clone = pf.readonly()
+        assert clone.top_k == 4
+        clone.note(10, 5)
+        assert stats.calls == 0 and stats.considered == 0
+
+    def test_top_k_must_be_positive(self):
+        with pytest.raises(ValueError, match="top_k"):
+            CandidatePrefilter(0)
 
 
 class TestCandidatePool:

@@ -14,6 +14,7 @@ from repro.obs import MetricsRegistry
 from repro.obs.provenance import (
     DecisionRecorder,
     PROVENANCE_SCHEMA_VERSION,
+    PRUNE_REASONS,
     decision_records,
     read_decisions,
     validate_decision,
@@ -206,6 +207,39 @@ class TestExplainRendering:
         records = [json.loads(line) for line in recorder.journal]
         table = decision_summary_table(records)
         assert len(table.splitlines()) == len(records) + 1  # + header
+
+
+class TestPrefilterProvenance:
+    def test_prefilter_is_a_prune_reason(self):
+        assert "prefilter" in PRUNE_REASONS
+
+    def test_decisions_carry_prefilter_report(self):
+        """Every decision that reached host filtering records what the
+        top-k prefilter did — including memo hits, whose pools are
+        re-reported through the read-only prefilter clone."""
+        recorder, _ = run_recorded()
+        seen = 0
+        for record in decision_records(map(json.loads, recorder.journal)):
+            if record["reason"] == "capacity" or record["pools"] is None:
+                continue
+            pools = record["pools"]
+            pf = pools.get("prefilter")
+            assert pf is not None
+            assert set(pf) == {"k", "considered", "pruned"}
+            assert pf["considered"] >= 0 and pf["pruned"] >= 0
+            assert set(pools["pruned"]) == set(PRUNE_REASONS)
+            seen += 1
+        assert seen > 0
+
+    def test_explain_renders_prefilter_line(self):
+        recorder, result = run_recorded()
+        placed = next(
+            r.job.job_id for r in result.records if r.placed_at is not None
+        )
+        records = [json.loads(line) for line in recorder.journal]
+        text = format_job_explanation(placed, records)
+        assert "prefilter: probed" in text
+        assert "capacity-eligible host(s)" in text
 
 
 class TestCapacityProvenance:

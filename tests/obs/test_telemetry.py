@@ -56,6 +56,30 @@ class TestMetricsFromRun:
             result.decision_time_s
         )
 
+    def test_fastpath_counters_mirror_run_stats(self, run_table1):
+        """The prefilter/DRB counter families report exactly what the
+        engine's own stats dicts say the run did."""
+        registry, _, result = run_table1
+        sched = {"scheduler": "TOPO-AWARE-P"}
+        pf = result.prefilter_stats
+        drb = result.drb_stats
+        assert pf and pf["calls"] > 0  # the fast paths were on
+        assert registry.get(
+            "repro_placement_prefilter_considered_total"
+        ).value(**sched) == pf["considered"]
+        assert registry.get(
+            "repro_placement_prefilter_pruned_total"
+        ).value(**sched) == pf["pruned"]
+        assert registry.get("repro_drb_splits_reused_total").value(
+            **sched
+        ) == drb["splits_reused"]
+        assert registry.get("repro_drb_splits_computed_total").value(
+            **sched
+        ) == drb["splits_computed"]
+        assert registry.get("repro_drb_rounds_rebuilt_total").value(
+            **sched
+        ) == drb["rounds_rebuilt"]
+
     def test_gauges_return_to_idle_after_run(self, run_table1):
         registry, _, _ = run_table1
         assert registry.get("repro_gpus_busy").value(scheduler="TOPO-AWARE-P") == 0

@@ -13,16 +13,26 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.bench import RECORD_FIELDS, check_equivalence
-from repro.analysis.scenarios import scenario1_jobs, table1_jobs
+from repro.analysis.scenarios import scenario1_jobs, scenario2_jobs, table1_jobs
 from repro.schedulers import make_scheduler
 from repro.sim.cluster import ClusterState
 from repro.sim.engine import Simulator
 from repro.topology.builders import cluster, power8_minsky
 
 
-def _run(topo_factory, jobs, scheduler_name, memo_size=None):
+def _run(
+    topo_factory,
+    jobs,
+    scheduler_name,
+    memo_size=None,
+    *,
+    incremental_drb=True,
+    prefilter=True,
+):
     topo = topo_factory()
-    state = ClusterState(topo)
+    state = ClusterState(
+        topo, incremental_drb=incremental_drb, prefilter=prefilter
+    )
     if memo_size is not None:
         state.engine.memo_size = memo_size
     sim = Simulator(topo, make_scheduler(scheduler_name), list(jobs), cluster=state)
@@ -56,6 +66,43 @@ def test_table1_memo_on_off_identical(scheduler_name):
     memo = _run(power8_minsky, jobs, scheduler_name)
     cold = _run(power8_minsky, jobs, scheduler_name, memo_size=0)
     _assert_identical(memo, cold)
+
+
+@pytest.mark.parametrize("scheduler_name", ["TOPO-AWARE", "TOPO-AWARE-P"])
+@pytest.mark.parametrize(
+    "incremental_drb,prefilter",
+    [(True, True), (True, False), (False, True)],
+)
+def test_fig11_fastpath_matrix_identical(
+    scheduler_name, incremental_drb, prefilter
+):
+    """Incremental DRB and the top-k prefilter — alone or together —
+    must reproduce the both-off run record-for-record at a scale where
+    both actually engage (multi-machine fleet, contended rounds)."""
+    jobs = scenario2_jobs(60, 12, seed=11)
+    baseline = _run(
+        lambda: cluster(12),
+        jobs,
+        scheduler_name,
+        incremental_drb=False,
+        prefilter=False,
+    )
+    fast = _run(
+        lambda: cluster(12),
+        jobs,
+        scheduler_name,
+        incremental_drb=incremental_drb,
+        prefilter=prefilter,
+    )
+    _assert_identical(baseline, fast)
+    assert baseline.makespan == fast.makespan
+    assert baseline.decision_rounds == fast.decision_rounds
+    # and the fast paths actually did something when enabled
+    if incremental_drb:
+        stats = fast.drb_stats
+        assert stats["splits_reused"] + stats["splits_computed"] > 0
+    if prefilter:
+        assert fast.prefilter_stats["calls"] > 0
 
 
 @pytest.mark.parametrize("scheduler_name", ["TOPO-AWARE", "TOPO-AWARE-P"])
@@ -127,6 +174,9 @@ def test_check_equivalence_reports_identical():
     jobs = scenario1_jobs(30, seed=42)
     verdict = check_equivalence(jobs, 5)
     assert verdict["identical"] is True
+    assert verdict["fastpath_off_identical"] is True
+    assert verdict["drb_only_identical"] is True
+    assert verdict["prefilter_only_identical"] is True
     assert verdict["recorder_identical"] is True
     assert verdict["scheduler"] == "TOPO-AWARE"
     assert set(verdict["memo_stats"]) == {

@@ -73,6 +73,32 @@ class TestDistanceMatrix:
             assert capped.distance(a, b) == reference.distance(a, b)
         assert capped._caches.gpu_index == {}  # fallback sentinel
 
+    def test_above_cap_fleet_matches_matrix_path(self, monkeypatch):
+        """Fig. 11-scale audit: a fleet past ``MATRIX_MAX_GPUS`` must
+        serve ``distance``, ``pairwise_distance_sum`` and
+        ``machine_distance`` from the per-source Dijkstra fallback with
+        exactly the values the dense matrix stores below the cap."""
+        matrix = cluster(4)  # 16 GPUs, comfortably under the real cap
+        gpus = matrix.gpus()
+        matrix.distance(gpus[0], gpus[-1])  # prime the matrix
+        assert matrix._caches.gpu_index  # it actually built
+
+        monkeypatch.setattr(graph_mod, "MATRIX_MAX_GPUS", 8)
+        capped = cluster(4)  # same fleet, now above the cap
+        for a, b in itertools.combinations(gpus, 2):
+            assert capped.distance(a, b) == matrix.distance(a, b)
+        assert capped._caches.gpu_index == {}  # stayed on the fallback
+
+        # machine-spanning Eq. 3 sums and machine ranking distances
+        spanning = [gpus[0], gpus[5], gpus[10], gpus[15]]
+        assert capped.pairwise_distance_sum(
+            spanning
+        ) == matrix.pairwise_distance_sum(spanning)
+        for ma, mb in itertools.combinations(matrix.machines(), 2):
+            assert capped.machine_distance(ma, mb) == matrix.machine_distance(
+                ma, mb
+            )
+
     def test_same_machine_pairs_stay_on_scoped_path(self, minsky):
         # the matrix stores unscoped values only; same-machine queries
         # must keep using the machine-scoped Dijkstra
