@@ -12,6 +12,11 @@ would:
 * ``POST /submit`` an over-capacity job answers 422;
 * ``POST /cancel`` of the finished job answers 409 (terminal wins),
   of an unknown id 404;
+* a long job held RUNNING by a queue of filler arrivals is caught
+  mid-run and ``POST /evict``-ed -> 202; it re-places and reaches
+  ``FINISHED`` with ``preemptions: 1``, the sqlite journal shows the
+  ``RUNNING -> QUEUED`` eviction hop, and the SSE-streamed eviction
+  record byte-matches the ``--decisions-out`` journal line;
 * ``GET /jobs`` lists every id with a terminal state, ``GET /metrics``
   carries the service metric families;
 * ``GET /decisions`` reports at least one recorded decision,
@@ -67,11 +72,17 @@ def http(method: str, url: str, body: dict | None = None) -> tuple[int, dict]:
         return exc.code, json.loads(exc.read() or b"{}")
 
 
-def read_sse_decision(url: str, timeout_s: float) -> tuple[int, str]:
-    """Stream ``/events`` from seq 0 and return the first decision
-    frame as ``(seq, data_line)``."""
+def read_sse_frames(url: str, timeout_s: float, wanted: dict) -> dict:
+    """Stream ``/events`` from seq 0 until one frame per ``wanted``
+    entry has been seen; returns ``{name: (seq, data_line)}``.
+
+    ``wanted`` maps a name to a ``(event_kind, data_substring)``
+    predicate — e.g. the first decision frame, or the first job frame
+    recording a preemption.
+    """
     parsed = urllib.parse.urlsplit(url)
     conn = HTTPConnection(parsed.hostname, parsed.port, timeout=timeout_s)
+    found: dict = {}
     try:
         conn.request("GET", "/events", headers={"Last-Event-ID": "0"})
         resp = conn.getresponse()
@@ -79,7 +90,7 @@ def read_sse_decision(url: str, timeout_s: float) -> tuple[int, str]:
             fail(f"/events answered {resp.status}")
         frame: dict = {}
         deadline = time.time() + timeout_s
-        while time.time() < deadline:
+        while time.time() < deadline and len(found) < len(wanted):
             line = resp.readline().decode("utf-8").rstrip("\n")
             if line.startswith(":"):
                 continue  # keep-alive comment
@@ -87,13 +98,17 @@ def read_sse_decision(url: str, timeout_s: float) -> tuple[int, str]:
                 key, _, value = line.partition(": ")
                 frame[key] = value
                 continue
-            if frame.get("event") == "decision":
-                return int(frame["id"]), frame["data"]
+            for name, (kind, substring) in wanted.items():
+                if (name not in found and frame.get("event") == kind
+                        and substring in frame.get("data", "")):
+                    found[name] = (int(frame["id"]), frame["data"])
             frame = {}
-        fail("no decision event on the SSE stream")
+        missing = sorted(set(wanted) - set(found))
+        if missing:
+            fail(f"SSE stream never produced {missing}")
+        return found
     finally:
         conn.close()
-    raise AssertionError("unreachable")
 
 
 def main() -> None:
@@ -190,7 +205,64 @@ def main() -> None:
             fail(f"/explain/smoke-1 shows no placed verdict: {verdicts}")
         if doc.get("state") != "FINISHED":
             fail(f"/explain/smoke-1 lacks lifecycle state: {doc}")
-        streamed_seq, streamed_line = read_sse_decision(url, 10.0)
+
+        # -- eviction over HTTP ----------------------------------------
+        # a long job plus a queue of short arrivals: the fillers keep
+        # the loop busy for many event batches, so the long job stays
+        # observably RUNNING long enough to be caught and evicted
+        http("POST", url + "/pause")
+        long_job = {"id": "smoke-evict", "model": "alexnet",
+                    "batch_size": 4, "num_gpus": 2,
+                    "iterations": 5_000_000}
+        status, doc = http("POST", url + "/submit", long_job)
+        if status != 202:
+            fail(f"/submit of the evict target answered {status}: {doc}")
+        for i in range(150):
+            filler = {"id": f"smoke-filler-{i}", "model": "alexnet",
+                      "batch_size": 1, "num_gpus": 1, "iterations": 10,
+                      "arrival_time": float(i)}
+            status, doc = http("POST", url + "/submit", filler)
+            if status != 202:
+                fail(f"/submit of filler {i} answered {status}: {doc}")
+        http("POST", url + "/resume")
+        state = None
+        poll_deadline = time.time() + 15
+        while time.time() < poll_deadline:
+            status, doc = http("GET", url + "/jobs/smoke-evict")
+            state = doc.get("state")
+            if state in ("RUNNING", "FINISHED", "CANCELLED", "FAILED"):
+                break
+        if state != "RUNNING":
+            fail(f"evict target never seen RUNNING (last {state!r})")
+        status, doc = http("POST", url + "/evict", {"id": "smoke-evict"})
+        if status != 202:
+            fail(f"/evict answered {status}: {doc}")
+        # the evicted job must re-place and still run to completion
+        poll_deadline = time.time() + 15
+        while time.time() < poll_deadline:
+            status, doc = http("GET", url + "/jobs/smoke-evict")
+            state = doc.get("state")
+            if state in ("FINISHED", "CANCELLED", "FAILED"):
+                break
+            time.sleep(0.05)
+        if state != "FINISHED":
+            fail(f"evicted job never finished (last state {state!r})")
+        record = doc.get("record") or {}
+        if record.get("preemptions") != 1:
+            fail(f"evicted record lacks the preemption: {record}")
+        with urllib.request.urlopen(url + "/metrics", timeout=5) as resp:
+            metrics = resp.read().decode()
+        if "repro_service_evictions_total 1" not in metrics:
+            fail("/metrics lacks repro_service_evictions_total 1")
+
+        streamed = read_sse_frames(url, 10.0, {
+            "decision": ("decision", '"verdict"'),
+            "eviction": ("job", '"evict_reason": "preempt"'),
+        })
+        streamed_seq, streamed_line = streamed["decision"]
+        eviction_seq, eviction_line = streamed["eviction"]
+        if '"smoke-evict"' not in eviction_line:
+            fail(f"streamed eviction names the wrong job: {eviction_line}")
 
         # -- clean SIGTERM shutdown ------------------------------------
         proc.send_signal(signal.SIGTERM)
@@ -212,6 +284,16 @@ def main() -> None:
                     ("RUNNING", "FINISHED")]
         if hops != expected:
             fail(f"journal history wrong: {hops}")
+        db = sqlite3.connect(store)
+        evict_hops = db.execute(
+            "SELECT from_state, to_state FROM transitions "
+            "WHERE job_id = 'smoke-evict' ORDER BY seq"
+        ).fetchall()
+        db.close()
+        if ("RUNNING", "QUEUED") not in evict_hops:
+            fail(f"no RUNNING -> QUEUED eviction hop: {evict_hops}")
+        if evict_hops[-1] != ("RUNNING", "FINISHED"):
+            fail(f"evicted job's journal does not end FINISHED: {evict_hops}")
 
         # -- SSE payload byte-matches the decisions journal ------------
         with open(decisions_path) as fp:
@@ -228,15 +310,23 @@ def main() -> None:
                 f"the journal: {streamed_line!r} vs "
                 f"{by_seq.get(streamed_seq)!r}"
             )
+        if by_seq.get(eviction_seq) != eviction_line:
+            fail(
+                f"SSE eviction seq {eviction_seq} does not byte-match "
+                f"the journal: {eviction_line!r} vs "
+                f"{by_seq.get(eviction_seq)!r}"
+            )
     finally:
         if proc.poll() is None:
             proc.kill()
 
     print(
         "daemon smoke OK: submit -> FINISHED over HTTP, rejection codes "
-        "409/422, cancel codes 409/404, /decisions + /explain live, SSE "
-        "decision byte-matches the journal, clean SIGTERM, journal holds "
-        f"{len(expected)} lifecycle hops"
+        "409/422, cancel codes 409/404, /decisions + /explain live, "
+        "evict -> RUNNING->QUEUED->FINISHED with the SSE eviction "
+        "byte-matching the journal, SSE decision byte-matches the "
+        f"journal, clean SIGTERM, journal holds {len(expected)} "
+        "lifecycle hops"
     )
 
 

@@ -102,6 +102,30 @@ def _capacity_summary(capacity: dict | None) -> str | None:
     )
 
 
+def _evict_summary(evict: dict | None) -> list[str]:
+    """The utility-delta justification attached to an evict verdict."""
+    if not evict:
+        return []
+    kind = evict.get("kind", "preempt")
+    lines = []
+    if kind == "preempt":
+        lines.append(
+            f"preempted {evict.get('victim')} "
+            f"(priority {evict.get('victim_priority')} < "
+            f"{evict.get('job_priority')})"
+        )
+    else:
+        lines.append(f"migrated {evict.get('victim')} to a better allocation")
+    lines.append(
+        f"  gain {_fmt_float(evict.get('gain'))} = "
+        f"new utility {_fmt_float(evict.get('job_utility'))} - "
+        f"victim utility {_fmt_float(evict.get('victim_utility'))} - "
+        f"migration penalty {_fmt_float(evict.get('migration_penalty'))} "
+        f"(> min gain {_fmt_float(evict.get('min_gain'))})"
+    )
+    return lines
+
+
 def format_decision(record: dict) -> str:
     """Multi-line rendering of one decision record."""
     header = (
@@ -135,6 +159,7 @@ def format_decision(record: dict) -> str:
             )
     lines.extend(f"  {ln}" for ln in _utility_lines(record.get("utility")))
     lines.extend(f"  {ln}" for ln in _slo_summary(record.get("slo")))
+    lines.extend(f"  {ln}" for ln in _evict_summary(record.get("evict")))
     if record.get("gpus") is not None:
         lines.append(
             f"  placement: gpus={record['gpus']} p2p={record.get('p2p')}"

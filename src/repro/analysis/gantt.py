@@ -89,7 +89,7 @@ def gantt_chart(
 ) -> str:
     """Render per-GPU occupancy over time as a text chart."""
     spans = [
-        OccupancySpan(r.job.job_id, r.gpus, r.placed_at, r.finished_at)
+        OccupancySpan(r.job.job_id, r.gpus, r.placed_at, r.end_time)
         for r in result.records
         if r.placed_at is not None
     ]
@@ -133,6 +133,13 @@ class GanttObserver(BaseObserver):
             span = self._open.pop(job.job_id, None)
             if span is not None:
                 span.end = t
+
+    def on_evict(self, t, job, gpus, reason):
+        # close the bar at eviction time; a preempted/migrated job
+        # opens a fresh span on its next on_place
+        span = self._open.pop(job.job_id, None)
+        if span is not None:
+            span.end = t
 
     def chart(self, width: int = 64, gpus: Sequence[str] | None = None) -> str:
         return _render_occupancy(self.name, self.job_order, self.spans, width, gpus)
@@ -185,7 +192,7 @@ def utility_timeline(
     paper's panels between job waves.
     """
     intervals = [
-        (r.placed_at, r.finished_at, r.utility)
+        (r.placed_at, r.end_time, r.utility)
         for r in records
         if r.placed_at is not None and r.utility is not None
     ]
@@ -217,6 +224,9 @@ class UtilityTimelineObserver(BaseObserver):
     def on_failure(self, t, machine, victims):
         for job in victims:
             self._close(t, job.job_id)
+
+    def on_evict(self, t, job, gpus, reason):
+        self._close(t, job.job_id)
 
     def series(self, n_samples: int = 100) -> tuple[np.ndarray, np.ndarray]:
         intervals = [(s, e, u) for s, e, u in self._intervals]

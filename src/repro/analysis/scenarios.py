@@ -47,6 +47,35 @@ def scenario1_jobs(n_jobs: int = 100, seed: int = 42) -> list[Job]:
     return WorkloadGenerator(cfg, seed=seed).generate(n_jobs)
 
 
+def fragmentation_jobs() -> list[Job]:
+    """A fragmentation-heavy scenario for preemption/defrag evaluation.
+
+    A wave of 1-GPU fillers — alternating short and long — packs the
+    cluster; the shorts' completions leave single-GPU holes scattered
+    across machines while the longs pin the rest.  Multi-GPU,
+    higher-priority jobs then arrive: a placement-only policy must wait
+    for the longs to drain, while TOPO-AWARE-PM can evict a long filler
+    (checkpointed, not restarted) or consolidate the survivors to open
+    a contiguous block.  Sized for two power8-minsky machines (8 GPUs).
+    """
+    jobs = []
+    for i in range(8):
+        iterations = 400 if i % 2 == 0 else 6000
+        jobs.append(
+            Job(f"filler{i}", ModelType.ALEXNET, 1, 1, min_utility=0.0,
+                arrival_time=0.1 * i, iterations=iterations)
+        )
+    jobs.append(
+        Job("big0", ModelType.ALEXNET, 4, 3, min_utility=0.4,
+            arrival_time=40.0, iterations=900, priority=1)
+    )
+    jobs.append(
+        Job("big1", ModelType.GOOGLENET, 4, 3, min_utility=0.4,
+            arrival_time=45.0, iterations=500, priority=1)
+    )
+    return jobs
+
+
 def scenario2_jobs(
     n_jobs: int = 10_000, n_machines: int = 1000, seed: int = 7
 ) -> list[Job]:

@@ -59,6 +59,7 @@ SCHEDULER_CHOICES = (
     "EASY-BACKFILL",
     "TOPO-AWARE",
     "TOPO-AWARE-P",
+    "TOPO-AWARE-PM",
     "RANDOM",
 )
 
@@ -610,7 +611,7 @@ def _cmd_simulate(args) -> int:
 def _cmd_compare(args) -> int:
     from repro.analysis.gantt import GanttObserver, comparison_charts
     from repro.sim.metrics import comparison_table
-    from repro.sim.runner import run_comparison
+    from repro.sim.runner import COMPARE_POLICIES, run_comparison
 
     topo_factory = _topology_factory(args)
     total_gpus = len(topo_factory().gpus())
@@ -631,7 +632,10 @@ def _cmd_compare(args) -> int:
 
     with sinks:
         results = run_comparison(
-            topo_factory, jobs, observer_factory=observer_factory
+            topo_factory,
+            jobs,
+            COMPARE_POLICIES,
+            observer_factory=observer_factory,
         )
         print(comparison_table(list(results.values())))
         if sinks.watchdog_enabled:

@@ -21,7 +21,12 @@ from repro.core.constraints import (
     filter_hosts,
 )
 from repro.core.drb import BipartitionCache, drb_map
-from repro.core.utility import SolutionMetrics, UtilityParams, evaluate_solution
+from repro.core.utility import (
+    SLO_EPS,
+    SolutionMetrics,
+    UtilityParams,
+    evaluate_solution,
+)
 from repro.perf.interference import InterferenceModel
 from repro.topology.allocation import AllocationState
 from repro.topology.graph import TopologyGraph
@@ -49,7 +54,7 @@ class PlacementSolution:
     def satisfies(self, job: Job) -> bool:
         """SLO check used by TOPO-AWARE-P: utility above the job's
         threshold, and P2P available when the job requires it."""
-        if self.utility < job.min_utility - 1e-12:
+        if self.utility < job.min_utility - SLO_EPS:
             return False
         if job.requires_p2p and not self.p2p:
             return False

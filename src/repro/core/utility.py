@@ -38,6 +38,15 @@ from repro.topology.allocation import AllocationState
 from repro.topology.graph import TopologyGraph
 from repro.workload.job import Job
 
+#: Shared SLO tolerance: a placement satisfies ``min_utility`` when its
+#: utility is at least ``min_utility - SLO_EPS``.  One constant for the
+#: scheduler's acceptance predicate (``TopoAwareScheduler._acceptable``,
+#: ``PlacementSolution.satisfies``) and the violation counters
+#: (``sim.metrics.slo_violations``, the telemetry observer) — previously
+#: the counters used a looser 1e-9, so a placement the scheduler itself
+#: judged SLO-failing could slip through uncounted.
+SLO_EPS = 1e-12
+
 
 @dataclass(frozen=True)
 class UtilityParams:
@@ -46,6 +55,14 @@ class UtilityParams:
     The paper's experiments use equal weights (0.33 each).
     ``interference_max`` is the slowdown factor treated as "worst case"
     when normalising Eq. 4's I.
+
+    ``migration_cost_s`` / ``migration_weight`` parameterise the
+    preemption/migration extension (TOPO-AWARE-PM): checkpointing and
+    restoring a victim costs ``migration_cost_s`` seconds of extra solo
+    work, and :func:`migration_penalty` converts that overhead into a
+    utility-denominated term so eviction decisions trade it off against
+    the Eq. 1 gain they unlock.  Both are inert for the paper's
+    original policies (nothing reads them unless a policy evicts).
     """
 
     alpha_cc: float = 1.0 / 3.0
@@ -53,6 +70,8 @@ class UtilityParams:
     alpha_d: float = 1.0 / 3.0
     interference_max: float = 1.25
     epsilon: float = 1e-6
+    migration_cost_s: float = 30.0
+    migration_weight: float = 0.25
 
     def __post_init__(self) -> None:
         total = self.alpha_cc + self.alpha_b + self.alpha_d
@@ -62,6 +81,10 @@ class UtilityParams:
             raise ValueError("alpha weights must be non-negative")
         if self.interference_max <= 1.0:
             raise ValueError("interference_max must exceed 1.0")
+        if self.migration_cost_s < 0:
+            raise ValueError("migration_cost_s must be >= 0")
+        if self.migration_weight < 0:
+            raise ValueError("migration_weight must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -222,11 +245,53 @@ def normalized_utility(
     )
 
 
+def migration_penalty(
+    remaining_wall_s: float,
+    params: UtilityParams = UtilityParams(),
+) -> float:
+    """Utility-denominated cost of evicting/migrating a running job.
+
+    The checkpoint/restore overhead (``migration_cost_s``) is charged
+    relative to how much wall-clock work the victim still has:
+    migrating a nearly-finished job pays the full ``migration_weight``
+    penalty (the fixed overhead dominates whatever better placement it
+    would enjoy), while a job with hours left amortises the overhead to
+    almost nothing.  The result lives on the same [0, 1] scale as the
+    normalised Eq. 1 utility, so policies can compare
+    ``u_new - u_old - penalty`` directly.
+    """
+    if remaining_wall_s <= 0:
+        return params.migration_weight
+    ratio = params.migration_cost_s / remaining_wall_s
+    return params.migration_weight * min(1.0, ratio)
+
+
+def migration_term(
+    remaining_wall_s: float,
+    params: UtilityParams = UtilityParams(),
+) -> dict:
+    """Provenance view of one migration-cost evaluation.
+
+    Mirrors the per-term shape of :func:`utility_breakdown` so
+    ``repro explain`` renders eviction decisions with the same
+    value/weight/contribution vocabulary as placement decisions.
+    """
+    penalty = migration_penalty(remaining_wall_s, params)
+    return {
+        "cost_s": params.migration_cost_s,
+        "remaining_wall_s": remaining_wall_s,
+        "weight": params.migration_weight,
+        "penalty": penalty,
+    }
+
+
 def utility_breakdown(
     topo: TopologyGraph,
     n_gpus: int,
     metrics: SolutionMetrics,
     params: UtilityParams = UtilityParams(),
+    *,
+    migration: dict | None = None,
 ) -> dict:
     """Per-term explanation of one scored allocation (provenance).
 
@@ -236,6 +301,10 @@ def utility_breakdown(
     to the final utility.  Pure function of already-computed metrics —
     the decision recorder calls it *after* the hot path scored the
     solution, so attaching provenance changes no simulation result.
+
+    ``migration`` (optional, a :func:`migration_term` dict) attaches
+    the migration-cost term when the breakdown explains an eviction or
+    live-migration decision.
     """
     comm_best, comm_worst = comm_cost_bounds(topo, n_gpus)
 
@@ -249,7 +318,7 @@ def utility_breakdown(
             "contribution": weight * (1.0 - norm),
         }
 
-    return {
+    breakdown = {
         "value": metrics.utility,
         "terms": {
             "comm_cost": term(
@@ -272,6 +341,9 @@ def utility_breakdown(
             ),
         },
     }
+    if migration is not None:
+        breakdown["terms"]["migration"] = migration
+    return breakdown
 
 
 def evaluate_solution(

@@ -33,6 +33,7 @@ EVENT_TYPES: dict[str, tuple[str, ...]] = {
     "finish": ("job_id", "gpus"),
     "failure": ("machine", "victims"),
     "requeue": ("job_id",),
+    "evict": ("job_id", "gpus", "reason"),
     "decision_round": ("placed", "queued", "elapsed_s"),
     "postponed": ("job_id", "postponements"),
     "slo_violation": ("job_id", "utility", "min_utility"),

@@ -61,8 +61,10 @@ from repro.sim.hooks import BaseObserver
 #: version stamped on every record ("schema" field)
 PROVENANCE_SCHEMA_VERSION = 1
 
-#: verdicts a decision record may carry
-DECISION_VERDICTS = ("placed", "postponed", "no-fit")
+#: verdicts a decision record may carry; ``"evict"`` marks a
+#: preemption/migration decision — the record's ``evict`` dict carries
+#: the utility-delta justification (victim, penalty, net gain)
+DECISION_VERDICTS = ("placed", "postponed", "no-fit", "evict")
 
 #: prune reasons a decision's candidate-pool report may tally, i.e.
 #: the keys of ``pools["pruned"]``.  ``"prefilter"`` counts
@@ -165,6 +167,12 @@ class DecisionRecorder(BaseObserver):
                 self._recorded_ctr.inc(scheduler=self.scheduler)
             if self._journal is not None:
                 self._journal.append(ring[-1])
+        elif (kind == "job" and self._journal is not None
+                and len(payload) > 6 and payload[6] is not None):
+            # evictions are decisions too: the job-kind record carrying
+            # an evict_reason (operator /evict, policy preempt/migrate)
+            # belongs in the durable journal, not just the SSE ring
+            self._journal.append(ring[-1])
         if self._waiters:
             with self._cond:
                 self._cond.notify_all()
@@ -184,6 +192,7 @@ class DecisionRecorder(BaseObserver):
         slo: dict | None = None,
         postponements: int = 0,
         capacity: dict | None = None,
+        evict: dict | None = None,
     ) -> None:
         """Record one scheduling decision.
 
@@ -191,7 +200,10 @@ class DecisionRecorder(BaseObserver):
         filled (memo hit/miss, candidate pools, per-pool candidates);
         ``slo`` is the detail dict ``_acceptable`` filled (predicate
         inputs and any anti-starvation override); ``capacity`` carries
-        the O(1) pruning inputs when the job never reached the engine.
+        the O(1) pruning inputs when the job never reached the engine;
+        ``evict`` carries the preemption/migration justification
+        (victim id, both utilities, migration penalty, net gain) for
+        ``verdict="evict"`` records.
 
         Hot-path cost is one tuple capture plus a ring append; the
         record dict (including the utility breakdown) and its JSON
@@ -221,6 +233,7 @@ class DecisionRecorder(BaseObserver):
                 capacity,
                 solution,
                 engine,
+                evict,
             ),
         )
 
@@ -240,6 +253,11 @@ class DecisionRecorder(BaseObserver):
 
     def on_requeue(self, t, job):
         self._append("job", (t, job.job_id, "QUEUED", None, None, True))
+
+    def on_evict(self, t, job, gpus, reason):
+        # cancel is terminal; preempt/migrate put the job back in play
+        state = "CANCELLED" if reason == "cancel" else "QUEUED"
+        self._append("job", (t, job.job_id, state, None, None, False, reason))
 
     def on_decision_round(self, t, placed, queued, elapsed_s):
         self._append("round", (self._round, t, len(placed), queued))
@@ -275,6 +293,7 @@ class DecisionRecorder(BaseObserver):
                 capacity,
                 solution,
                 engine,
+                evict,
             ) = payload
             propose = propose or {}
             record = {
@@ -299,6 +318,8 @@ class DecisionRecorder(BaseObserver):
                 "p2p": None,
                 "postponements": postponements,
             }
+            if evict is not None:
+                record["evict"] = evict
             if solution is not None:
                 record["gpus"] = sorted(solution.gpus)
                 record["p2p"] = solution.p2p
@@ -311,7 +332,8 @@ class DecisionRecorder(BaseObserver):
                     )
             return record
         if kind == "job":
-            t, job_id, state, solution, postponements, restart = payload
+            t, job_id, state, solution, postponements, restart = payload[:6]
+            evict_reason = payload[6] if len(payload) > 6 else None
             record = {
                 "schema": PROVENANCE_SCHEMA_VERSION,
                 "seq": seq,
@@ -326,6 +348,8 @@ class DecisionRecorder(BaseObserver):
                 record["postponements"] = postponements
             if restart:
                 record["restart"] = True
+            if evict_reason is not None:
+                record["evict_reason"] = evict_reason
             return record
         round_no, t, n_placed, queued = payload
         return {

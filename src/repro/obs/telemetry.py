@@ -18,6 +18,11 @@ repro_jobs_arrived_total                counter    jobs submitted to the queue
 repro_jobs_placed_total                 counter    placements enforced
 repro_jobs_finished_total               counter    jobs completed
 repro_jobs_requeued_total               counter    failure victims resubmitted
+repro_evictions_total                   counter    jobs evicted mid-run, by
+                                                   reason (cancel/preempt/
+                                                   migrate); also labelled
+                                                   ``reason``
+repro_migrations_total                  counter    defragmentation migrations
 repro_machine_failures_total            counter    fail-stop machine events
 repro_job_postponements_total           counter    TOPO-AWARE-P postponements
 repro_slo_violations_total              counter    placements below min_utility
@@ -44,6 +49,7 @@ repro_drb_rounds_rebuilt_total          counter    cache syncs that fell back to
 
 from __future__ import annotations
 
+from repro.core.utility import SLO_EPS
 from repro.obs.events import EventLog
 from repro.obs.metrics import MetricsRegistry
 from repro.sim.hooks import BaseObserver
@@ -93,6 +99,14 @@ class TelemetryObserver(BaseObserver):
         self._requeued = reg.counter(
             "repro_jobs_requeued_total",
             "Failure victims resubmitted to the queue.", labels)
+        self._evictions = reg.counter(
+            "repro_evictions_total",
+            "Jobs evicted mid-run (cancelled, preempted or migrated).",
+            ("scheduler", "reason"))
+        self._migrations = reg.counter(
+            "repro_migrations_total",
+            "Running jobs moved to a better allocation by defragmentation.",
+            labels)
         self._failures = reg.counter(
             "repro_machine_failures_total", "Fail-stop machine events.", labels)
         self._postponed = reg.counter(
@@ -254,7 +268,7 @@ class TelemetryObserver(BaseObserver):
             self._emit(
                 "postponed", t, job_id=job.job_id, postponements=postponements
             )
-        if solution.utility < job.min_utility - 1e-9:
+        if solution.utility < job.min_utility - SLO_EPS:
             self._slo_violations.inc(scheduler=sched)
             self._emit(
                 "slo_violation",
@@ -298,6 +312,22 @@ class TelemetryObserver(BaseObserver):
         self._requeued.inc(scheduler=self.scheduler)
         self._emit("requeue", t, job_id=job.job_id)
 
+    def on_evict(self, t, job, gpus, reason):
+        sched = self.scheduler
+        self._evictions.inc(scheduler=sched, reason=reason)
+        if reason == "migrate":
+            self._migrations.inc(scheduler=sched)
+        # guarded pop: a cancel may catch a job that never ran (queued
+        # or pending phase) — the gauges then have nothing to release
+        freed = self._held.pop(job.job_id, None)
+        if freed is not None:
+            self._busy -= freed
+            self._running -= 1
+            self._gpu_gauges()
+        self._emit(
+            "evict", t, job_id=job.job_id, gpus=sorted(gpus), reason=reason
+        )
+
     def on_decision_round(self, t, placed, queued, elapsed_s):
         sched = self.scheduler
         self._rounds.inc(scheduler=sched)
@@ -327,6 +357,8 @@ class ServiceTelemetry:
     repro_service_submissions_total             counter    POST /submit requests
     repro_service_admissions_total{decision}    counter    admitted / rejected-*
     repro_service_cancellations_total{phase}    counter    cancels by job phase
+    repro_service_evictions_total               counter    POST /evict preemptions
+                                                           applied to the engine
     repro_service_queue_depth                   gauge      jobs waiting (service)
     repro_service_jobs{state}                   gauge      jobs per lifecycle state
     repro_service_submission_latency_seconds    histogram  submit wall latency
@@ -347,6 +379,9 @@ class ServiceTelemetry:
             "repro_service_cancellations_total",
             "Cancellations applied, by the phase the job was caught in.",
             ("phase",))
+        self._evictions = reg.counter(
+            "repro_service_evictions_total",
+            "Operator evictions (POST /evict) applied to the engine.")
         self._queue_depth = reg.gauge(
             "repro_service_queue_depth",
             "Jobs waiting in the service queue (admitted, not yet placed).")
@@ -366,6 +401,9 @@ class ServiceTelemetry:
 
     def cancellation(self, phase: str) -> None:
         self._cancellations.inc(phase=phase)
+
+    def eviction(self) -> None:
+        self._evictions.inc()
 
     def set_queue_depth(self, depth: int) -> None:
         self._queue_depth.set(depth)

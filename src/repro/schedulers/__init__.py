@@ -7,7 +7,9 @@
 * :class:`TopoAwareScheduler` -- the paper's Algorithm 1 with the
   TOPO-AWARE policy (place as soon as resources exist) or, with
   ``postpone=True``, the TOPO-AWARE-P policy (postpone placements that
-  do not satisfy the job's utility/P2P SLO).
+  do not satisfy the job's utility/P2P SLO); ``preempt=True`` adds the
+  TOPO-AWARE-PM policy (priority preemption + periodic
+  defragmentation, both gated on net utility gain).
 * :class:`RandomScheduler` -- uniform random feasible placement, an
   extra ablation baseline.
 """
@@ -34,7 +36,8 @@ __all__ = [
 
 
 def make_scheduler(name: str, **kwargs) -> Scheduler:
-    """Factory by canonical name: FCFS, BF, TOPO-AWARE, TOPO-AWARE-P, RANDOM."""
+    """Factory by canonical name: FCFS, BF, TOPO-AWARE, TOPO-AWARE-P,
+    TOPO-AWARE-PM, RANDOM."""
     key = name.strip().upper().replace("_", "-")
     if key == "FCFS":
         return FCFSScheduler(**kwargs)
@@ -44,6 +47,8 @@ def make_scheduler(name: str, **kwargs) -> Scheduler:
         return TopoAwareScheduler(postpone=False, **kwargs)
     if key == "TOPO-AWARE-P":
         return TopoAwareScheduler(postpone=True, **kwargs)
+    if key == "TOPO-AWARE-PM":
+        return TopoAwareScheduler(postpone=True, preempt=True, **kwargs)
     if key == "RANDOM":
         return RandomScheduler(**kwargs)
     if key == "SJF":

@@ -13,7 +13,7 @@ from __future__ import annotations
 import abc
 import bisect
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Mapping
+from typing import TYPE_CHECKING, Callable, Mapping
 
 from repro.core.placement import PlacementEngine, PlacementSolution
 from repro.topology.allocation import AllocationState
@@ -40,6 +40,13 @@ class SchedulingContext:
     #: by the simulation kernel when one is attached as an observer;
     #: None — the default — keeps the hot path provenance-free
     recorder: object | None = None
+    #: eviction verb bound by the simulation kernel:
+    #: ``evict(job_id, reason)`` checkpoints and frees a running job.
+    #: Reason ``"preempt"`` re-queues the victim for a later round;
+    #: ``"migrate"`` leaves re-placement to the caller, which must
+    #: return a solution for the job in the same decision round.  None
+    #: outside the kernel — preempting policies degrade to placement-only.
+    evict: Callable[[str, str], None] | None = None
 
 
 @dataclass(order=True)

@@ -13,6 +13,18 @@ pool with DRB (Algorithm 2 + 3), keep the highest-utility solution.
   the job's SLO -- utility below ``min_utility``, or no P2P for a
   P2P-requiring job -- is postponed to the next scheduler iteration,
   in the hope that finishing jobs free a better allocation.
+* **TOPO-AWARE-PM** (``preempt=True``): builds preemption and
+  migration on top of the postponing policy.  After the placement
+  loop it may (a) evict a strictly-lower-priority running job when a
+  queued job's utility gain, net of the victim's utility and a
+  migration-cost penalty (:func:`repro.core.utility.migration_penalty`),
+  clears a threshold -- the victim is checkpointed and re-queued, not
+  restarted; and (b) every ``defrag_interval`` rounds, migrate a
+  running job whose current placement scores markedly below the best
+  placement now available (consolidating fragmented allocations freed
+  by completions).  With every job at the default priority 0 and
+  ``defrag_interval=0`` the policy is decision-for-decision identical
+  to TOPO-AWARE-P.
 
 Anti-starvation safeguards for the postponing policy: a job is placed
 anyway when nothing is running (the state cannot improve), when its
@@ -23,6 +35,7 @@ postponement budget is exhausted.
 from __future__ import annotations
 
 from repro.core.placement import PlacementSolution
+from repro.core.utility import SLO_EPS, migration_penalty
 from repro.obs import trace as _trace
 from repro.schedulers.base import Scheduler, SchedulingContext
 from repro.workload.job import Job
@@ -33,11 +46,32 @@ class TopoAwareScheduler(Scheduler):
         self,
         postpone: bool = False,
         max_postponements: int | None = None,
+        preempt: bool = False,
+        defrag_interval: int = 10,
+        max_evictions_per_round: int = 2,
+        preempt_min_gain: float = 0.0,
+        defrag_min_gain: float = 0.05,
     ) -> None:
         super().__init__()
         self.postpone = postpone
         self.max_postponements = max_postponements
-        self.name = "TOPO-AWARE-P" if postpone else "TOPO-AWARE"
+        self.preempt = preempt
+        #: run the defragmentation pass every N decision rounds
+        #: (0 disables it)
+        self.defrag_interval = defrag_interval
+        #: combined cap on preemptions + migrations per decision round,
+        #: bounding churn (each eviction pays a migration cost)
+        self.max_evictions_per_round = max_evictions_per_round
+        #: minimum net utility gain (challenger − victim − penalty)
+        #: before a preemption is worth its disruption
+        self.preempt_min_gain = preempt_min_gain
+        #: minimum net utility gain before a migration is worth its cost
+        self.defrag_min_gain = defrag_min_gain
+        if preempt:
+            self.name = "TOPO-AWARE-PM"
+        else:
+            self.name = "TOPO-AWARE-P" if postpone else "TOPO-AWARE"
+        self._round = 0
 
     def schedule(self, ctx: SchedulingContext) -> list[PlacementSolution]:
         placed: list[PlacementSolution] = []
@@ -152,7 +186,208 @@ class TopoAwareScheduler(Scheduler):
             total_free = ctx.alloc.total_free_count()
             if max_free == 0:
                 break
+        if self.preempt and ctx.cluster is not None and ctx.evict is not None:
+            self._round += 1
+            budget = self.max_evictions_per_round
+            budget -= self._preempt_pass(ctx, co, placed, budget)
+            if (
+                budget > 0
+                and self.defrag_interval
+                and self._round % self.defrag_interval == 0
+            ):
+                self._defrag_pass(ctx, co, placed, budget)
         return placed
+
+    # ------------------------------------------------------------------
+    # preemption & migration (TOPO-AWARE-PM)
+    # ------------------------------------------------------------------
+    def _slo_ok(self, ctx: SchedulingContext, job: Job, solution) -> bool:
+        """The postponement SLO predicate, reused for eviction probes."""
+        if solution.utility < job.min_utility - SLO_EPS:
+            return False
+        return (
+            not job.requires_p2p
+            or solution.p2p
+            or not ctx.engine.p2p_attainable(job)
+        )
+
+    def _remaining_wall_s(self, run) -> float:
+        """A running job's projected wall-clock seconds to completion."""
+        if run.rate <= 0:
+            return run.remaining
+        return run.remaining / run.rate
+
+    def _preempt_pass(
+        self,
+        ctx: SchedulingContext,
+        co: dict,
+        placed: list[PlacementSolution],
+        budget: int,
+    ) -> int:
+        """Evict lower-priority running jobs for queued higher-priority ones.
+
+        For each still-queued job (oldest first) we try victims in
+        rising (priority, progress) order: probe the placement the
+        queued job would get with the victim's GPUs freed, and commit
+        the eviction only when the challenger's utility beats the
+        victim's current utility plus the migration penalty by at least
+        ``preempt_min_gain`` — eviction must raise aggregate utility
+        net of its cost, never just shuffle it.  Returns the number of
+        evictions committed.
+        """
+        cluster = ctx.cluster
+        rec = ctx.recorder
+        evictions = 0
+        for entry in list(self._queue):
+            if evictions >= budget:
+                break
+            job = entry.job
+            candidates = sorted(
+                (
+                    run
+                    for run in cluster.running.values()
+                    if run.job.priority < job.priority
+                ),
+                key=lambda r: (
+                    r.job.priority,
+                    1.0 - (r.remaining / r.solo if r.solo > 0 else 0.0),
+                    r.job.job_id,
+                ),
+            )
+            for run in candidates:
+                victim_id = run.job.job_id
+                # victim's utility under its current placement (its own
+                # GPUs excluded from the co-runner view)
+                co_minus = {k: v for k, v in co.items() if k != victim_id}
+                u_victim = ctx.engine.score_allocation(
+                    run.job, tuple(sorted(run.gpus)), co_minus
+                ).utility
+                # probe: what would the queued job get with the victim gone?
+                ctx.alloc.release(victim_id)
+                saved_co = co.pop(victim_id, None)
+                prov = {} if rec is not None else None
+                solution = ctx.engine.propose(job, co, provenance=prov)
+                # revert the probe before deciding; after a committed
+                # ctx.evict the free pool is identical, so the probe's
+                # solution can be enforced as-is
+                ctx.alloc.allocate(victim_id, run.gpus)
+                if saved_co is not None:
+                    co[victim_id] = saved_co
+                if solution is None or not self._slo_ok(ctx, job, solution):
+                    continue
+                penalty = migration_penalty(
+                    self._remaining_wall_s(run), cluster.params
+                )
+                gain = solution.utility - u_victim - penalty
+                if gain <= self.preempt_min_gain:
+                    continue
+                ctx.evict(victim_id, "preempt")
+                co.pop(victim_id, None)
+                self._place(ctx, job, solution, co)
+                self._remove(job.job_id)
+                placed.append(solution)
+                evictions += 1
+                if rec is not None:
+                    rec.decision(
+                        t=ctx.now,
+                        scheduler=self.name,
+                        job=job,
+                        queued=len(self._queue) + 1,
+                        verdict="evict",
+                        reason="preempt",
+                        solution=solution,
+                        engine=ctx.engine,
+                        propose=prov,
+                        evict={
+                            "kind": "preempt",
+                            "victim": victim_id,
+                            "victim_priority": run.job.priority,
+                            "job_priority": job.priority,
+                            "victim_utility": u_victim,
+                            "job_utility": solution.utility,
+                            "migration_penalty": penalty,
+                            "gain": gain,
+                            "min_gain": self.preempt_min_gain,
+                        },
+                    )
+                break
+        return evictions
+
+    def _defrag_pass(
+        self,
+        ctx: SchedulingContext,
+        co: dict,
+        placed: list[PlacementSolution],
+        budget: int,
+    ) -> int:
+        """Migrate running jobs to markedly better placements.
+
+        Completions leave fragmented allocations behind; periodically
+        re-score every running job's placement and move the worst-off
+        ones when the best placement now available beats the current
+        one by more than the migration penalty plus ``defrag_min_gain``.
+        Returns the number of migrations committed.
+        """
+        cluster = ctx.cluster
+        rec = ctx.recorder
+        scored = []
+        for victim_id in sorted(cluster.running):
+            run = cluster.running[victim_id]
+            co_minus = {k: v for k, v in co.items() if k != victim_id}
+            current = ctx.engine.score_allocation(
+                run.job, tuple(sorted(run.gpus)), co_minus
+            )
+            scored.append((current.utility, victim_id, run))
+        scored.sort(key=lambda x: (x[0], x[1]))  # worst placements first
+        moves = 0
+        for u_current, victim_id, run in scored:
+            if moves >= budget:
+                break
+            # probe: best placement with the job's own GPUs freed
+            ctx.alloc.release(victim_id)
+            saved_co = co.pop(victim_id, None)
+            prov = {} if rec is not None else None
+            solution = ctx.engine.propose(run.job, co, provenance=prov)
+            ctx.alloc.allocate(victim_id, run.gpus)
+            if saved_co is not None:
+                co[victim_id] = saved_co
+            if solution is None or frozenset(solution.gpus) == run.gpus:
+                continue
+            penalty = migration_penalty(
+                self._remaining_wall_s(run), cluster.params
+            )
+            gain = solution.utility - u_current - penalty
+            if gain <= self.defrag_min_gain:
+                continue
+            # commit: evict without re-queueing; the job restarts on the
+            # new GPUs this same round with its progress checkpointed
+            ctx.evict(victim_id, "migrate")
+            co.pop(victim_id, None)
+            self._place(ctx, run.job, solution, co)
+            placed.append(solution)
+            moves += 1
+            if rec is not None:
+                rec.decision(
+                    t=ctx.now,
+                    scheduler=self.name,
+                    job=run.job,
+                    queued=len(self._queue),
+                    verdict="evict",
+                    reason="defrag",
+                    solution=solution,
+                    engine=ctx.engine,
+                    propose=prov,
+                    evict={
+                        "kind": "migrate",
+                        "victim": victim_id,
+                        "victim_utility": u_current,
+                        "job_utility": solution.utility,
+                        "migration_penalty": penalty,
+                        "gain": gain,
+                        "min_gain": self.defrag_min_gain,
+                    },
+                )
+        return moves
 
     # ------------------------------------------------------------------
     def _acceptable(
@@ -171,7 +406,7 @@ class TopoAwareScheduler(Scheduler):
         bookkeeping that preserves the predicate evaluation order, so
         attaching it changes no decision.
         """
-        utility_ok = solution.utility >= job.min_utility - 1e-12
+        utility_ok = solution.utility >= job.min_utility - SLO_EPS
         p2p_ok = (
             not job.requires_p2p
             or solution.p2p

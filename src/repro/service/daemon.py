@@ -99,6 +99,15 @@ class _LifecycleBridge(BaseObserver):
     def on_requeue(self, t, job):
         self._svc.lifecycle.advance_if(job.job_id, JobState.QUEUED)
 
+    def on_evict(self, t, job, gpus, reason):
+        # preempt/migrate: the job leaves its GPUs but stays in play —
+        # journal the RUNNING -> QUEUED hop (a migrated job's on_place
+        # follows in the same round and advances it straight back).
+        # Cancel is NOT handled here: _apply_cancels owns the
+        # CANCELLED transition and the queue retirement.
+        if reason in ("preempt", "migrate"):
+            self._svc.lifecycle.advance_if(job.job_id, JobState.QUEUED)
+
 
 class SchedulerService:
     """Owns the engine, the loop thread, and the service bookkeeping."""
@@ -167,6 +176,7 @@ class SchedulerService:
         )
         self._cv = threading.Condition()
         self._cancels: list[str] = []
+        self._evictions: list[str] = []
         self._paused = False
         self._stop = False
         self._idle = True
@@ -248,13 +258,14 @@ class SchedulerService:
         """Validate, admit, journal and enqueue one submission."""
         t0 = time.perf_counter()
         body = dict(doc)
-        priority = body.pop("priority", 0)
         try:
-            priority = int(priority)
             job = job_from_dict(body)
         except (ManifestError, TypeError, ValueError) as exc:
             self.telemetry.submission("invalid", time.perf_counter() - t0)
             raise ManifestError(str(exc)) from exc
+        # the manifest-level priority doubles as the service queue
+        # priority and (via Job.priority) the preemption rank
+        priority = job.priority
         # two-phase admission: reserve first, enqueue last — the loop
         # thread must never pop a job whose lifecycle entry and journal
         # row do not exist yet (the engine's observer notifications
@@ -290,6 +301,27 @@ class SchedulerService:
             )
         with self._cv:
             self._cancels.append(job_id)
+            self._idle = False
+            self._cv.notify_all()
+        return state.value
+
+    def evict(self, job_id: str) -> str:
+        """Request preemption of a running job; returns its state now.
+
+        The engine-side eviction happens on the loop thread: the job's
+        progress is checkpointed, its GPUs are freed and it re-enters
+        the scheduler queue (journaled as a RUNNING -> QUEUED hop) for
+        a later round to re-place with only its remaining work plus
+        the migration cost.  Raises :class:`KeyError` for unknown ids
+        and :class:`ValueError` for jobs that are not running.
+        """
+        if job_id not in self.lifecycle:
+            raise KeyError(job_id)
+        state = self.lifecycle.state(job_id)
+        if state is not JobState.RUNNING:
+            raise ValueError(f"job {job_id!r} is {state.value}, not running")
+        with self._cv:
+            self._evictions.append(job_id)
             self._idle = False
             self._cv.notify_all()
         return state.value
@@ -360,7 +392,7 @@ class SchedulerService:
     # the scheduler loop (sole engine mutator)
     # ------------------------------------------------------------------
     def _has_work(self) -> bool:
-        if self._cancels or len(self.queue):
+        if self._cancels or self._evictions or len(self.queue):
             return True
         return not self._paused and self.sim.pending_events > 0
 
@@ -383,8 +415,11 @@ class SchedulerService:
                     return
                 cancels = self._cancels
                 self._cancels = []
+                evictions = self._evictions
+                self._evictions = []
             self._apply_submissions()
             self._apply_cancels(cancels)
+            self._apply_evictions(evictions)
             if not self._paused and self.sim.pending_events:
                 self.sim.step()
                 if not self.sim.pending_events:
@@ -429,6 +464,17 @@ class SchedulerService:
                 # next event
                 self.sim.run_round(touched)
 
+    def _apply_evictions(self, job_ids: list[str]) -> None:
+        for job_id in job_ids:
+            try:
+                touched = self.sim.preempt_job(job_id)
+            except KeyError:
+                continue  # finished/cancelled/already evicted: moot
+            self.telemetry.eviction()
+            # reoffer the freed capacity (and possibly re-place the
+            # victim itself) without waiting for the next event
+            self.sim.run_round(touched)
+
     def _handle_stuck_queue(self) -> None:
         """Drained loop + idle cluster + non-empty queue: those jobs
         can never place (same rule as the one-shot run loop)."""
@@ -466,6 +512,9 @@ def _record_to_dict(record: JobRecord) -> dict:
         "postponements": record.postponements,
         "unplaceable": record.unplaceable,
         "restarts": record.restarts,
+        "cancelled_at": record.cancelled_at,
+        "preemptions": record.preemptions,
+        "migrations": record.migrations,
     }
 
 
@@ -489,6 +538,8 @@ class ServiceServer(IntrospectionServer):
     * ``POST /submit`` — manifest-format job object (+ optional
       ``priority``); 202 admitted, 4xx with a reason otherwise;
     * ``POST /cancel`` — ``{"id": ...}``; 202 accepted (poll the job);
+    * ``POST /evict`` — ``{"id": ...}``; 202 accepted: the running job
+      is checkpointed back to the queue for re-placement;
     * ``POST /pause`` / ``POST /resume`` — gate engine stepping;
     * ``GET /jobs`` — lifecycle table + queue depth;
     * ``GET /jobs/<id>`` — state + live record.
@@ -543,6 +594,7 @@ class ServiceServer(IntrospectionServer):
         return {
             "/submit": self._post_submit,
             "/cancel": self._post_cancel,
+            "/evict": self._post_evict,
             "/pause": self._post_pause,
             "/resume": self._post_resume,
         }
@@ -569,6 +621,18 @@ class ServiceServer(IntrospectionServer):
             return json_response(400, {"error": 'body needs an "id" string'})
         try:
             seen = self.service.cancel(job_id)
+        except KeyError:
+            return json_response(404, {"error": f"unknown job {job_id!r}"})
+        except ValueError as exc:
+            return json_response(409, {"error": str(exc)})
+        return json_response(202, {"id": job_id, "state": seen})
+
+    def _post_evict(self, body: dict) -> Response:
+        job_id = body.get("id")
+        if not isinstance(job_id, str) or not job_id:
+            return json_response(400, {"error": 'body needs an "id" string'})
+        try:
+            seen = self.service.evict(job_id)
         except KeyError:
             return json_response(404, {"error": f"unknown job {job_id!r}"})
         except ValueError as exc:

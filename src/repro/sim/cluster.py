@@ -47,6 +47,10 @@ class RunningJob:
     gpus: frozenset[str]
     remaining: float  # solo-work seconds left
     rate: float  # progress per simulated second (1/slowdown)
+    #: total solo work under this placement (``remaining`` at start,
+    #: before any resume surcharge); lets eviction turn the residual
+    #: into a placement-independent progress fraction.
+    solo: float = 0.0
     #: stamps Finish events; 0 means "no finish scheduled yet".  Values
     #: are drawn from a cluster-wide monotonic counter so an event from
     #: a job's earlier incarnation (killed by a failure, later
@@ -69,6 +73,7 @@ class ClusterState:
     ) -> None:
         self.topo = topo
         self.calibration = calibration
+        self.params = params
         self.alloc = AllocationState(topo)
         self.perf = PerformanceModel(topo, calibration)
         self.interference = InterferenceModel(topo, calibration)
@@ -85,6 +90,10 @@ class ClusterState:
         self.now = 0.0
         self._ideal_cache: dict[tuple, float] = {}
         self._next_version = 0
+        #: job id -> progress fraction in [0, 1) checkpointed by
+        #: :meth:`preempt`; consumed (popped) by the next :meth:`start`
+        #: so a re-placed victim resumes instead of restarting.
+        self._checkpoints: dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # views
@@ -145,6 +154,12 @@ class ClusterState:
         scheduler enforces them during its decision round).  Returns the
         solo execution time under this placement and the set of touched
         machines whose co-runner rates need refreshing.
+
+        A job with a preemption checkpoint (see :meth:`preempt`) resumes
+        from its saved progress fraction: the remaining work is the
+        unfinished share of the new placement's solo time plus the
+        fixed migration cost (checkpoint restore + warm-up) from
+        :class:`~repro.core.utility.UtilityParams`.
         """
         gpus = frozenset(solution.gpus)
         # task-indexed GPU order: model-parallel pipelines/rings are
@@ -153,8 +168,13 @@ class ClusterState:
             solution.task_mapping[t] for t in sorted(solution.task_mapping)
         ]
         solo = self.perf.solo_exec_time(job, by_task)
+        remaining = solo
+        progress = self._checkpoints.pop(job.job_id, None)
+        if progress is not None:
+            remaining = solo * (1.0 - progress) + self.params.migration_cost_s
         self.running[job.job_id] = RunningJob(
-            job=job, gpus=gpus, remaining=solo, rate=1.0, version=0
+            job=job, gpus=gpus, remaining=remaining, rate=1.0,
+            solo=solo, version=0,
         )
         return solo, self.machines_of(gpus)
 
@@ -180,6 +200,24 @@ class ClusterState:
         """
         run = self.running.pop(job_id)
         self.alloc.release(job_id)
+        self._checkpoints.pop(job_id, None)  # cancellation is terminal
+        return run, self.machines_of(run.gpus)
+
+    def preempt(self, job_id: str) -> tuple[RunningJob, set[str]]:
+        """Evict a running job, checkpointing its progress.
+
+        Frees the job's GPUs like :meth:`cancel`, but saves the fraction
+        of work already done so the next :meth:`start` resumes it (plus
+        a migration-cost surcharge) instead of restarting from zero.
+        Returns the evicted run and the touched machines.
+        """
+        run = self.running.pop(job_id)
+        self.alloc.release(job_id)
+        if run.solo > 0:
+            progress = 1.0 - run.remaining / run.solo
+            # the resume surcharge can push remaining above solo; clamp
+            # so progress stays a fraction and never grows work
+            self._checkpoints[job_id] = min(1.0, max(0.0, progress))
         return run, self.machines_of(run.gpus)
 
     def is_stale_finish(self, job_id: str, version: int) -> bool:
@@ -208,6 +246,9 @@ class ClusterState:
                 continue
             touched |= self.machines_of(run.gpus)
             self.alloc.release(job_id)
+            # fail-stop loses in-memory training state: any checkpoint
+            # from an earlier preemption is void too (cold restart)
+            self._checkpoints.pop(job_id, None)
             victims.append(run)
         return victims, touched
 

@@ -227,6 +227,11 @@ class Simulator:
         the returned machines need a :meth:`run_round` so neighbours
         speed back up and the freed slots are reoffered).  Raises
         :class:`KeyError` for unknown or already-terminal jobs.
+
+        Every phase fires ``on_evict(..., reason="cancel")`` so record
+        keeping, Gantt, utilization and telemetry observers close the
+        job out instead of believing it still occupies its GPUs (or is
+        still pending); for non-running phases the GPU set is empty.
         """
         if not self._started:
             raise RuntimeError("cancel_job() before start()")
@@ -234,13 +239,39 @@ class Simulator:
             raise KeyError(job_id)
         if job_id in self.cluster.running:
             self._cancelled.add(job_id)
-            _, touched = self.cluster.cancel(job_id)
+            run, touched = self.cluster.cancel(job_id)
+            self._notify.on_evict(self.cluster.now, run.job, run.gpus, "cancel")
             return "running", touched
+        job = self._jobs_by_id[job_id]
         if self.scheduler.withdraw(job_id):
             self._cancelled.add(job_id)
+            self._notify.on_evict(self.cluster.now, job, frozenset(), "cancel")
             return "queued", set()
         self._cancelled.add(job_id)  # arrival event still pending
+        self._notify.on_evict(self.cluster.now, job, frozenset(), "cancel")
         return "pending", set()
+
+    def preempt_job(self, job_id: str) -> set[str]:
+        """Evict a running job back to the queue, keeping its progress.
+
+        The service daemon's operator verb: the job's GPUs are freed,
+        its progress fraction is checkpointed
+        (:meth:`ClusterState.preempt`), and it is resubmitted to the
+        scheduler queue so a later decision round re-places it — the
+        resumed run carries only its unfinished work plus the migration
+        cost.  Returns the touched machines; callers pass them to
+        :meth:`run_round` so neighbours speed up and the freed capacity
+        is reoffered immediately.  Raises :class:`KeyError` unless the
+        job is currently running.
+        """
+        if not self._started:
+            raise RuntimeError("preempt_job() before start()")
+        if job_id in self._cancelled or job_id not in self.cluster.running:
+            raise KeyError(job_id)
+        run, touched = self.cluster.preempt(job_id)
+        self._notify.on_evict(self.cluster.now, run.job, run.gpus, "preempt")
+        self.scheduler.submit(run.job)
+        return touched
 
     def step(self) -> bool:
         """Process the next batch of simultaneous events plus the
@@ -294,6 +325,18 @@ class Simulator:
         notify = self._notify
         t = cluster.now
         touched = set(touched)
+
+        def _evict(job_id: str, reason: str) -> None:
+            # bound eviction verb for preempting policies: checkpoint
+            # and free the victim, notify observers, and (for preempt)
+            # re-queue it; a migrating policy re-places the job itself
+            # within the same round.
+            run, machines = cluster.preempt(job_id)
+            touched.update(machines)
+            notify.on_evict(t, run.job, run.gpus, reason)
+            if reason == "preempt":
+                scheduler.submit(run.job)
+
         ctx = SchedulingContext(
             topo=self.topo,
             alloc=cluster.alloc,
@@ -302,6 +345,7 @@ class Simulator:
             now=t,
             cluster=cluster,
             recorder=self.decision_recorder,
+            evict=_evict,
         )
         t0 = self.decision_clock()
         placements = scheduler.schedule(ctx)

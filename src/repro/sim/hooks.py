@@ -52,6 +52,18 @@ class SimObserver(Protocol):
     def on_requeue(self, t: float, job: Job) -> None:
         """A failure victim was resubmitted to the scheduler queue."""
 
+    def on_evict(
+        self, t: float, job: Job, gpus: frozenset[str], reason: str
+    ) -> None:
+        """A job was removed from the cluster before finishing.
+
+        ``reason`` is ``"cancel"`` (operator cancellation, terminal),
+        ``"preempt"`` (evicted for a higher-priority job, back to the
+        queue with progress checkpointed) or ``"migrate"`` (evicted by
+        the defragmenter, immediately re-placed elsewhere).  ``gpus``
+        is empty when the job was not running.
+        """
+
     def on_decision_round(
         self,
         t: float,
@@ -86,6 +98,11 @@ class BaseObserver:
         pass
 
     def on_requeue(self, t: float, job: Job) -> None:
+        pass
+
+    def on_evict(
+        self, t: float, job: Job, gpus: frozenset[str], reason: str
+    ) -> None:
         pass
 
     def on_decision_round(
@@ -126,6 +143,15 @@ class CompositeObserver(BaseObserver):
     def on_requeue(self, t, job):
         for obs in self.observers:
             obs.on_requeue(t, job)
+
+    def on_evict(self, t, job, gpus, reason):
+        # getattr guard: on_evict post-dates the protocol, and custom
+        # observers written against the original five hooks must keep
+        # working unmodified.
+        for obs in self.observers:
+            hook = getattr(obs, "on_evict", None)
+            if hook is not None:
+                hook(t, job, gpus, reason)
 
     def on_decision_round(self, t, placed, queued, elapsed_s):
         for obs in self.observers:
@@ -169,6 +195,25 @@ class RecordKeeper(BaseObserver):
         # cold restart: the placement is void and training state is lost
         rec = self.records[job.job_id]
         rec.restarts += 1
+        rec.placed_at = None
+        rec.gpus = ()
+        rec.utility = None
+        rec.p2p = None
+        rec.solo_exec_time = None
+
+    def on_evict(self, t, job, gpus, reason):
+        rec = self.records[job.job_id]
+        if reason == "cancel":
+            # terminal: keep the placement fields as a record of where
+            # the job was running when it died, mirror finished_at.
+            rec.cancelled_at = t
+            return
+        # warm eviction (preempt/migrate): progress is checkpointed, so
+        # unlike on_requeue this is not a restart — but the current
+        # placement is void until the scheduler re-places the job.
+        rec.preemptions += 1
+        if reason == "migrate":
+            rec.migrations += 1
         rec.placed_at = None
         rec.gpus = ()
         rec.utility = None

@@ -19,6 +19,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.core.utility import SLO_EPS
 from repro.sim.hooks import BaseObserver
 from repro.sim.records import JobRecord, SimulationResult
 
@@ -43,9 +44,14 @@ def qos_slowdown(record: JobRecord, unfinished: str = "raise") -> float | None:
 
     ``unfinished="raise"`` (default) treats an unfinished job as an
     error; ``"skip"`` returns ``None`` instead so collection-level
-    callers can filter uniformly.
+    callers can filter uniformly.  A cancelled job is *terminal*, not
+    unfinished: it has no slowdown under either policy (``None``, never
+    an error) — its life ended by operator choice, not by the run being
+    cut short.
     """
     _check_unfinished(unfinished)
+    if record.cancelled_at is not None:
+        return None
     if record.exec_time is None:
         if unfinished == "skip":
             return None
@@ -64,8 +70,12 @@ def total_slowdown(record: JobRecord, unfinished: str = "raise") -> float | None
     guard against records with no ideal time (e.g. a job marked
     unplaceable caches an ideal of 0.0), which raise a clear
     :class:`ValueError` instead of a bare ``ZeroDivisionError``.
+    Cancelled jobs yield ``None`` under both policies, as in
+    :func:`qos_slowdown`.
     """
     _check_unfinished(unfinished)
+    if record.cancelled_at is not None:
+        return None
     if record.finished_at is None:
         if unfinished == "skip":
             return None
@@ -100,7 +110,7 @@ def slo_violations(records: Iterable[JobRecord]) -> list[str]:
     """Jobs placed below their minimum utility (violated SLOs)."""
     out = []
     for r in records:
-        if r.utility is not None and r.utility < r.job.min_utility - 1e-9:
+        if r.utility is not None and r.utility < r.job.min_utility - SLO_EPS:
             out.append(r.job.job_id)
     return out
 
@@ -134,13 +144,13 @@ def utilization_timeline(
     if not placed:
         return np.array([0.0]), np.array([0.0])
     horizon = max(
-        r.finished_at if r.finished_at is not None else r.placed_at
+        r.end_time if r.end_time is not None else r.placed_at
         for r in placed
     )
     times = np.linspace(0.0, max(horizon, 1e-9), n_samples)
     busy = np.zeros(n_samples)
     for r in placed:
-        end = r.finished_at if r.finished_at is not None else horizon
+        end = r.end_time if r.end_time is not None else horizon
         mask = (times >= r.placed_at) & (times < end)
         busy[mask] += len(r.gpus)
     return times, busy / total_gpus
@@ -167,11 +177,11 @@ def bandwidth_timeline(
     (GPU-CPU-GPU) series otherwise.
     """
     placed = [
-        r for r in records if r.placed_at is not None and r.finished_at is not None
+        r for r in records if r.placed_at is not None and r.end_time is not None
     ]
     if not placed:
         return np.array([0.0]), np.array([0.0]), np.array([0.0])
-    horizon = max(r.finished_at for r in placed)
+    horizon = max(r.end_time for r in placed)
     times = np.linspace(0.0, horizon, n_samples)
     p2p = np.zeros(n_samples)
     routed = np.zeros(n_samples)
@@ -179,7 +189,7 @@ def bandwidth_timeline(
         if r.job.num_gpus < 2:
             continue  # no GPU-GPU traffic
         demand = profiles.for_job(r.job).avg_demand_gbs
-        mask = (times >= r.placed_at) & (times < r.finished_at)
+        mask = (times >= r.placed_at) & (times < r.end_time)
         if r.p2p:
             p2p[mask] += demand
         else:
@@ -190,11 +200,16 @@ def bandwidth_timeline(
 def summarize(result: SimulationResult) -> dict:
     """One-line comparison row for a simulation run."""
     records = [r for r in result.records if r.finished_at is not None]
-    unfinished = [r for r in result.records if r.finished_at is None]
+    unfinished = [r for r in result.records if not r.terminal]
     return {
         "scheduler": result.scheduler_name,
         "jobs": len(result.records),
         "finished": len(records),
+        "cancelled": sum(
+            1 for r in result.records if r.cancelled_at is not None
+        ),
+        "preemptions": sum(r.preemptions for r in result.records),
+        "migrations": sum(r.migrations for r in result.records),
         "unplaceable": sum(1 for r in unfinished if r.unplaceable),
         "makespan_s": result.makespan,
         "mean_qos_slowdown": float(np.mean([qos_slowdown(r) for r in records]))
@@ -249,6 +264,13 @@ class UtilizationObserver(BaseObserver):
         for job in victims:
             self._busy -= self._held.pop(job.job_id, 0)
         if victims:
+            self._step(t)
+
+    def on_evict(self, t, job, gpus, reason):
+        # guarded pop: a cancel may catch a job that never ran
+        freed = self._held.pop(job.job_id, None)
+        if freed is not None:
+            self._busy -= freed
             self._step(t)
 
     def timeline(self) -> tuple[np.ndarray, np.ndarray]:

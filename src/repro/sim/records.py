@@ -31,6 +31,10 @@ class JobRecord:
     postponements: int = 0
     unplaceable: bool = False
     restarts: int = 0  # times the job was killed by a machine failure
+    #: when the job was cancelled mid-flight (terminal, like finished_at)
+    cancelled_at: float | None = None
+    preemptions: int = 0  # evictions back to the queue (work checkpointed)
+    migrations: int = 0  # live migrations to a better allocation
 
     @property
     def waiting_time(self) -> float | None:
@@ -43,6 +47,18 @@ class JobRecord:
         if self.finished_at is None or self.placed_at is None:
             return None
         return self.finished_at - self.placed_at
+
+    @property
+    def terminal(self) -> bool:
+        """Whether the job's simulated life has ended (either way)."""
+        return self.finished_at is not None or self.cancelled_at is not None
+
+    @property
+    def end_time(self) -> float | None:
+        """When the job stopped occupying GPUs (finish or cancel)."""
+        if self.finished_at is not None:
+            return self.finished_at
+        return self.cancelled_at
 
 
 @dataclass

@@ -20,6 +20,11 @@ from repro.workload.job import Job
 
 DEFAULT_POLICIES = ("BF", "FCFS", "TOPO-AWARE", "TOPO-AWARE-P")
 
+#: the CLI comparison set: the paper's four policies plus the
+#: preempting/migrating extension.  Kept separate from
+#: :data:`DEFAULT_POLICIES`, which the golden-equivalence suite pins.
+COMPARE_POLICIES = DEFAULT_POLICIES + ("TOPO-AWARE-PM",)
+
 
 def _bind_observers(sim: Simulator, observers: Sequence[SimObserver]) -> None:
     """Give run-aware observers a view of the simulation they tap.

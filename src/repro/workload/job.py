@@ -136,6 +136,10 @@ class Job:
     p2p: bool | None = None  # None = derive from batch class (see requires_p2p)
     comm_pattern: CommPattern = CommPattern.DATA_PARALLEL
     tags: tuple[str, ...] = field(default=())
+    #: preemption rank: a preempting scheduler may evict a running job
+    #: only for a queued job with strictly higher priority.  0 (the
+    #: default) makes every job equal — nothing is ever preempted.
+    priority: int = 0
 
     def __post_init__(self) -> None:
         if self.num_gpus < 1:

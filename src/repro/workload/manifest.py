@@ -48,6 +48,7 @@ _OPTIONAL = {
     "p2p": None,
     "comm_pattern": "data-parallel",
     "tags": (),
+    "priority": 0,
 }
 
 
@@ -75,6 +76,7 @@ def _job_from_dict(entry: dict[str, Any], index: int) -> Job:
             p2p=None if values["p2p"] is None else bool(values["p2p"]),
             comm_pattern=CommPattern.from_string(str(values["comm_pattern"])),
             tags=tuple(values["tags"]),
+            priority=int(values["priority"]),
         )
     except (TypeError, ValueError) as exc:
         raise ManifestError(f"job #{index}: {exc}") from exc
@@ -100,6 +102,8 @@ def _job_to_dict(job: Job) -> dict[str, Any]:
         out["comm_pattern"] = job.comm_pattern.value
     if job.tags:
         out["tags"] = list(job.tags)
+    if job.priority:
+        out["priority"] = job.priority
     return out
 
 

@@ -55,7 +55,8 @@ class TestSimulateAndCompare:
         code = main(["compare", "--jobs", "10", "--machines", "2", "--seed", "1"])
         assert code == 0
         out = capsys.readouterr().out
-        for name in ("BF", "FCFS", "TOPO-AWARE", "TOPO-AWARE-P"):
+        for name in ("BF", "FCFS", "TOPO-AWARE", "TOPO-AWARE-P",
+                     "TOPO-AWARE-PM"):
             assert name in out
 
     def test_single_machine_mode(self, capsys):
@@ -101,7 +102,8 @@ class TestSimulateAndCompare:
         )
         assert code == 0
         out = capsys.readouterr().out
-        for name in ("BF", "FCFS", "TOPO-AWARE", "TOPO-AWARE-P"):
+        for name in ("BF", "FCFS", "TOPO-AWARE", "TOPO-AWARE-P",
+                     "TOPO-AWARE-PM"):
             assert f"[{name}]" in out
 
 
@@ -159,7 +161,9 @@ class TestTelemetryFlags:
         families = parse_prometheus(metrics.read_text())
         arrived = families["repro_jobs_arrived_total"]["samples"]
         schedulers = {s["labels"]["scheduler"] for s in arrived}
-        assert schedulers == {"BF", "FCFS", "TOPO-AWARE", "TOPO-AWARE-P"}
+        assert schedulers == {
+            "BF", "FCFS", "TOPO-AWARE", "TOPO-AWARE-P", "TOPO-AWARE-PM"
+        }
         events_list = read_events(events)
         assert {e["scheduler"] for e in events_list} == schedulers
 
@@ -356,5 +360,6 @@ class TestObservabilityCLI:
         )
         assert code == 0
         out = capsys.readouterr().out
-        for name in ("BF", "FCFS", "TOPO-AWARE", "TOPO-AWARE-P"):
+        for name in ("BF", "FCFS", "TOPO-AWARE", "TOPO-AWARE-P",
+                     "TOPO-AWARE-PM"):
             assert f"[{name}] slo_alerts_fired: 0" in out
