@@ -38,12 +38,35 @@ def _run_scenario1():
     return Simulator(cluster(5), make_scheduler("TOPO-AWARE-P"), jobs).run()
 
 
+def _floor(fn, calls: int) -> float:
+    """Per-call cost floor: best of three timeit batches.
+
+    A single batch is at the mercy of whatever else the box is doing
+    for those few milliseconds; the minimum over repeats is the
+    standard noise-resistant estimator for a deterministic call (any
+    excess over the floor is scheduler interference, not the code).
+    """
+    return min(timeit.repeat(fn, number=calls, repeat=3)) / calls
+
+
+def _timed_floor(fn, repeat: int = 2):
+    """Wall-time floor of a full run: best of ``repeat`` timed calls
+    (same rationale as :func:`_floor` — the denominator of the 3 %
+    bound should not depend on one lucky or unlucky slice of the box).
+    Returns ``(last_result, best_seconds)``."""
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return result, best
+
+
 def test_disabled_tracing_overhead_under_3pct(benchmark, write_result):
     # wall time of the production configuration (tracing disabled)
     benchmark.pedantic(_run_scenario1, rounds=1, iterations=1)
-    t0 = time.perf_counter()
-    _run_scenario1()
-    disabled_s = time.perf_counter() - t0
+    _, disabled_s = _timed_floor(_run_scenario1)
 
     # the same run with a recorder installed, to count trace points
     t0 = time.perf_counter()
@@ -55,9 +78,9 @@ def test_disabled_tracing_overhead_under_3pct(benchmark, write_result):
 
     # cost of one disabled span() call, measured in isolation
     calls = 100_000
-    per_call_s = timeit.timeit(
-        lambda: span("bench.noop", job_id="x", n=4), number=calls
-    ) / calls
+    per_call_s = _floor(
+        lambda: span("bench.noop", job_id="x", n=4), calls
+    )
 
     worst_case_s = span_count * per_call_s
     overhead_pct = 100.0 * worst_case_s / disabled_s
@@ -99,9 +122,7 @@ def test_server_and_watchdog_overhead_under_3pct(benchmark, write_result):
         )
 
     benchmark.pedantic(bare, rounds=1, iterations=1)
-    t0 = time.perf_counter()
-    result = bare()
-    bare_s = time.perf_counter() - t0
+    result, bare_s = _timed_floor(bare)
     rounds = result.decision_rounds
 
     # one fully instrumented run: provides warmed observers for the
@@ -128,13 +149,13 @@ def test_server_and_watchdog_overhead_under_3pct(benchmark, write_result):
     # cheap per-round throttle check per round plus one full build per
     # interval.
     calls = 2_000
-    watchdog_round_s = timeit.timeit(
-        lambda: watchdog.on_decision_round(0.0, [], 3, 0.001), number=calls
-    ) / calls
-    snapshot_round_s = timeit.timeit(
-        lambda: snapshots.on_decision_round(0.0, [], 3, 0.001), number=calls
-    ) / calls
-    snapshot_build_s = timeit.timeit(snapshots._publish, number=calls) / calls
+    watchdog_round_s = _floor(
+        lambda: watchdog.on_decision_round(0.0, [], 3, 0.001), calls
+    )
+    snapshot_round_s = _floor(
+        lambda: snapshots.on_decision_round(0.0, [], 3, 0.001), calls
+    )
+    snapshot_build_s = _floor(snapshots._publish, calls)
     rebuilds = bare_s / snapshots.min_publish_interval_s + 2
 
     worst_case_s = (
@@ -164,6 +185,107 @@ def test_server_and_watchdog_overhead_under_3pct(benchmark, write_result):
     assert worst_case_s < 0.03 * bare_s
 
 
+def test_sampler_and_windowed_watchdog_overhead_under_3pct(
+    benchmark, write_result
+):
+    """Continuous telemetry, same decomposition: the sampler's work is
+    wall-clock throttled (one sample per ``min_interval_s`` at most),
+    the windowed watchdog adds a deque append + small-window aggregate
+    per rule per round.  Pin:
+
+        samples x per_sample_cost + rounds x windowed_round_cost
+            < 3 % of the bare wall time.
+
+    Priced on the fleet-scale workload (Scenario 2, 24 machines — the
+    same family of contended rounds the fast-path matrix uses) because that is
+    where continuous telemetry runs: a windowed rule costs ~1 us per
+    round regardless of fleet size, so the pin must hold where rounds
+    carry real scheduling work, not on a 5-machine toy whose rounds
+    are two orders of magnitude cheaper than production's.
+    """
+    from repro.analysis.scenarios import scenario2_jobs
+    from repro.obs import EventLog, MetricsRegistry
+    from repro.obs.alerts import DEFAULT_RULES, Rule, Watchdog
+    from repro.obs.telemetry import TelemetryObserver
+    from repro.obs.timeseries import TimeSeriesSampler, TimeSeriesStore
+    from repro.sim.runner import run_with_observers
+
+    def bare():
+        return run_with_observers(
+            cluster(24), make_scheduler("TOPO-AWARE-P"),
+            scenario2_jobs(120, 24, seed=11),
+        )
+
+    benchmark.pedantic(bare, rounds=1, iterations=1)
+    result, bare_s = _timed_floor(bare)
+    rounds = result.decision_rounds
+
+    # the production composition: the instantaneous default SLOs plus
+    # windowed trend rules (mean / rate / min over trailing windows) —
+    # the same mix the equivalence test and the serve/soak wiring use
+    windowed = DEFAULT_RULES + (
+        Rule("qd-mean", "queue_depth", ">", 1e9, window=16, agg="mean"),
+        Rule("qd-rate", "queue_depth", ">", 1e9, window=16, agg="rate"),
+        Rule("util-min", "utilization", "<", -1.0, window=16, agg="min"),
+    )
+    registry = MetricsRegistry()
+    watchdog = Watchdog(registry, EventLog(), windowed,
+                        scheduler="TOPO-AWARE-P")
+    telemetry = TelemetryObserver(registry, scheduler="TOPO-AWARE-P")
+    store = TimeSeriesStore()
+    sampler = TimeSeriesSampler(store)  # production 50 ms throttle
+    t0 = time.perf_counter()
+    run_with_observers(
+        cluster(24), make_scheduler("TOPO-AWARE-P"),
+        scenario2_jobs(120, 24, seed=11),
+        observers=(telemetry, watchdog, sampler),
+    )
+    instrumented_s = time.perf_counter() - t0
+    samples = store.samples_taken
+    assert samples > 0, "sampler never fired"
+
+    # per-call costs on the warmed, fully populated instances
+    calls = 2_000
+    windowed_round_s = _floor(
+        lambda: watchdog.on_decision_round(0.0, [], 3, 0.001), calls
+    )
+    sample_s = _floor(lambda: sampler.sample(0.0, 3), calls)
+    throttle_s = _floor(
+        lambda: sampler.on_decision_round(0.0, [], 3, 0.001), calls
+    )
+    # like snapshot rebuilds: full samples are wall-clock bounded (one
+    # per 50 ms interval, +2 for the first and terminal samples); the
+    # cheap throttle check runs every round
+    max_samples = bare_s / sampler.min_interval_s + 2
+
+    worst_case_s = (
+        rounds * (windowed_round_s + throttle_s) + max_samples * sample_s
+    )
+    overhead_pct = 100.0 * worst_case_s / bare_s
+
+    write_result(
+        "obs_sampler_windowed_watchdog_overhead",
+        "\n".join(
+            [
+                "sampler+windowed-watchdog overhead, Scenario 2 "
+                "(120 jobs, 24 machines)",
+                f"bare run wall time            {bare_s:>9.3f} s",
+                f"instrumented run wall time    {instrumented_s:>9.3f} s",
+                f"decision rounds               {rounds:>9d}",
+                f"samples taken                 {samples:>9d}",
+                f"windowed watchdog per round   {windowed_round_s * 1e6:>9.1f} us",
+                f"sampler throttle per round    {throttle_s * 1e6:>9.1f} us",
+                f"full sample cost              {sample_s * 1e6:>9.1f} us"
+                f"  (x{max_samples:.0f} wall-clock-throttled)",
+                f"worst-case overhead           {overhead_pct:>9.4f} %"
+                "  (bound: 3 %)",
+            ]
+        ),
+    )
+
+    assert worst_case_s < 0.03 * bare_s
+
+
 def test_decision_recorder_overhead_under_3pct(benchmark, write_result):
     """The provenance recorder's cost, decomposed the same way: count
     what a real recorded run appends (decision records, job/round
@@ -182,9 +304,7 @@ def test_decision_recorder_overhead_under_3pct(benchmark, write_result):
         )
 
     benchmark.pedantic(bare, rounds=1, iterations=1)
-    t0 = time.perf_counter()
-    bare_result = bare()
-    bare_s = time.perf_counter() - t0
+    bare_result, bare_s = _timed_floor(bare)
 
     recorder = DecisionRecorder(journal=True)
     t0 = time.perf_counter()
@@ -221,7 +341,7 @@ def test_decision_recorder_overhead_under_3pct(benchmark, write_result):
     }
     scratch = DecisionRecorder(journal=True)
     calls = 2_000
-    per_decision_s = timeit.timeit(
+    per_decision_s = _floor(
         lambda: scratch.decision(
             t=0.0,
             scheduler="TOPO-AWARE-P",
@@ -233,15 +353,15 @@ def test_decision_recorder_overhead_under_3pct(benchmark, write_result):
             propose=prov,
             slo=slo,
         ),
-        number=calls,
-    ) / calls
-    per_event_s = timeit.timeit(
-        lambda: scratch.on_place(0.0, job, solution, 1.0, 0), number=calls
-    ) / calls
+        calls,
+    )
+    per_event_s = _floor(
+        lambda: scratch.on_place(0.0, job, solution, 1.0, 0), calls
+    )
     # a memo hit re-runs filter_hosts read-only purely for provenance
-    per_filter_s = timeit.timeit(
-        lambda: filter_hosts(topo, state.alloc, job, report={}), number=calls
-    ) / calls
+    per_filter_s = _floor(
+        lambda: filter_hosts(topo, state.alloc, job, report={}), calls
+    )
 
     worst_case_s = (
         n_decisions * per_decision_s

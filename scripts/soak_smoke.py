@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""CI smoke check: the soak harness against a live daemon.
+
+Launches ``repro serve --watchdog`` as a subprocess (in-memory store,
+ephemeral port), then runs ``repro soak --url ...`` — the exact
+command an operator would use — for a few seconds of burst load:
+
+* the soak exits 0 (every SLO window verdict ``clean``);
+* its stdout carries the per-window verdict lines and the summary;
+* the ``SOAK_*.json`` artifact exists, is schema-versioned, and its
+  windows carry queue/running/utilization gauges plus SLO verdicts;
+* after the soak, the daemon's ``/timeseries`` history is non-empty
+  (per-machine series included) and ``/cluster`` shows the heatmap
+  document — the continuous-telemetry surfaces ``repro top`` renders;
+* ``SIGTERM`` still shuts the daemon down cleanly afterwards.
+
+Budget: well under 30 s.
+
+Run:  PYTHONPATH=src python scripts/soak_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+
+LISTEN_RE = re.compile(r"listening on (http://\S+)")
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def get(url: str) -> dict:
+    with urllib.request.urlopen(url, timeout=5) as resp:
+        if resp.status != 200:
+            fail(f"{url} answered {resp.status}")
+        return json.loads(resp.read())
+
+
+def main() -> None:
+    tmpdir = tempfile.mkdtemp(prefix="repro-soak-")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--machines", "2", "--port", "0", "--store", ":memory:",
+         "--watchdog"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=dict(os.environ, PYTHONPATH="src", PYTHONUNBUFFERED="1"),
+    )
+    try:
+        url = None
+        deadline = time.time() + 30
+        assert proc.stdout is not None
+        seen = []
+        while time.time() < deadline:
+            line = proc.stdout.readline()
+            if not line:
+                break
+            seen.append(line)
+            match = LISTEN_RE.search(line)
+            if match:
+                url = match.group(1)
+                break
+        if url is None:
+            fail(f"no listen line in output: {seen!r}")
+
+        # -- a short soak through the real CLI -------------------------
+        soak = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "soak",
+             "--url", url, "--minutes", "0.1", "--window", "1.5",
+             "--jobs-per-burst", "4", "--burst-every", "1.0",
+             "--out", tmpdir],
+            capture_output=True,
+            text=True,
+            timeout=60,
+            env=dict(os.environ, PYTHONPATH="src", PYTHONUNBUFFERED="1"),
+        )
+        if soak.returncode != 0:
+            fail(f"repro soak exited {soak.returncode}: "
+                 f"{soak.stdout[-500:]} {soak.stderr[-500:]}")
+        if "verdict: clean" not in soak.stdout:
+            fail(f"soak summary lacks a clean verdict: {soak.stdout[-500:]}")
+        if "window 0" not in soak.stdout:
+            fail(f"soak printed no window lines: {soak.stdout[-500:]}")
+
+        # -- the artifact ----------------------------------------------
+        artifacts = [f for f in os.listdir(tmpdir)
+                     if f.startswith("SOAK_") and f.endswith(".json")]
+        if len(artifacts) != 1:
+            fail(f"expected one SOAK_*.json in {tmpdir}, found {artifacts}")
+        with open(os.path.join(tmpdir, artifacts[0])) as fp:
+            doc = json.load(fp)
+        if doc.get("schema") != 1 or doc.get("verdict") != "clean":
+            fail(f"artifact schema/verdict wrong: "
+                 f"{ {k: doc.get(k) for k in ('schema', 'verdict')} }")
+        windows = doc.get("windows", [])
+        if len(windows) < 3:
+            fail(f"artifact has too few windows: {len(windows)}")
+        for window in windows:
+            missing = {"t_s", "queue_depth", "running_jobs", "utilization",
+                       "alerts_active", "fired_delta", "verdict"} - set(window)
+            if missing:
+                fail(f"window lacks {missing}: {window}")
+        if doc.get("submitted", 0) < 8:
+            fail(f"soak submitted too little: {doc.get('submitted')}")
+
+        # -- continuous-telemetry surfaces stayed live -----------------
+        series = get(url + "/timeseries")
+        if not series.get("enabled") or series.get("samples", 0) < 1:
+            fail(f"/timeseries empty after soak: "
+                 f"{ {k: series.get(k) for k in ('enabled', 'samples')} }")
+        if "queue_depth" not in series.get("cluster", {}):
+            fail("/timeseries lacks the cluster queue_depth series")
+        if len(series.get("machines", {})) != 2:
+            fail(f"/timeseries lacks per-machine series: "
+                 f"{sorted(series.get('machines', {}))}")
+        heat = get(url + "/cluster")
+        if len(heat.get("machines", {})) != 2:
+            fail(f"/cluster heatmap wrong: {heat}")
+        alerts = get(url + "/alerts")
+        if not alerts.get("enabled"):
+            fail(f"/alerts reports the watchdog off: {alerts}")
+
+        # -- clean SIGTERM shutdown ------------------------------------
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=30)
+        if proc.returncode != 0:
+            fail(f"serve exited {proc.returncode}: {err[-500:]}")
+        if "scheduler service stopped" not in out:
+            fail(f"no stop line in output: {out[-300:]!r}")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+    print(
+        f"soak smoke OK: repro soak exit 0 with {len(windows)} clean "
+        "windows, SOAK artifact schema-versioned with per-window SLO "
+        "verdicts, /timeseries + /cluster + /alerts live afterwards, "
+        "clean SIGTERM"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -8,6 +8,8 @@ Subcommands::
     repro topo --machine NAME [--matrix | --numactl]
     repro figures [--out DIR]                      # regenerate evaluation
     repro serve [--port P --store FILE ...]        # scheduler service daemon
+    repro top --url URL [--interval S]             # live terminal dashboard
+    repro soak [--minutes N] [--url URL]           # burst-load soak harness
     repro submit MANIFEST --url URL                # POST jobs to a daemon
     repro cancel JOB_ID --url URL                  # cancel a submitted job
     repro status --url URL [--job ID]              # job table / one job
@@ -200,6 +202,55 @@ def _build_parser() -> argparse.ArgumentParser:
                        metavar="FILE",
                        help="write the decision-provenance journal at "
                        "shutdown (JSONL; .gz compresses)")
+    serve.add_argument("--watchdog", action="store_true",
+                       help="attach the SLO watchdog (default rules) — "
+                       "/alerts carries live state, soak verdicts work")
+    serve.add_argument("--slo-rules", type=Path, default=None, metavar="FILE",
+                       help="JSON/TOML watchdog rule file (implies "
+                       "--watchdog; supports windowed rules)")
+
+    top = sub.add_parser(
+        "top", help="htop-style live dashboard for a running daemon"
+    )
+    top.add_argument("--url", default="http://127.0.0.1:8642",
+                     help="daemon base URL")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between repaints")
+    top.add_argument("--once", action="store_true",
+                     help="render a single frame and exit (no ANSI clear; "
+                     "pipe-friendly)")
+
+    soak = sub.add_parser(
+        "soak",
+        help="replay a bursty trace against a daemon for N wall-clock "
+        "minutes under the windowed SLO watchdog",
+    )
+    soak.add_argument("--minutes", type=float, default=5.0,
+                      help="wall-clock soak duration")
+    soak.add_argument("--url", default=None,
+                      help="drive this daemon (default: start an "
+                      "in-process one, watchdog attached)")
+    soak.add_argument("--window", type=float, default=10.0,
+                      help="seconds per SLO observation window")
+    soak.add_argument("--jobs-per-burst", type=int, default=20)
+    soak.add_argument("--burst-every", type=float, default=5.0,
+                      help="seconds between submission bursts")
+    soak.add_argument("--seed", type=int, default=42)
+    soak.add_argument("--arrival-rate", type=float, default=2.2,
+                      help="jobs per minute (Poisson lambda) inside a burst")
+    soak.add_argument("--machines", type=int, default=5,
+                      help="in-process daemon cluster size (ignored "
+                      "with --url)")
+    soak.add_argument("--machine", choices=MACHINE_CHOICES,
+                      default="power8-minsky")
+    soak.add_argument("--scheduler", choices=SCHEDULER_CHOICES,
+                      type=lambda s: s.upper(), default="TOPO-AWARE")
+    soak.add_argument("--slo-rules", type=Path, default=None, metavar="FILE",
+                      help="JSON/TOML rule file for the in-process "
+                      "daemon's watchdog")
+    soak.add_argument("--out", type=Path, default=Path("."),
+                      help="SOAK_*.json artifact path or directory "
+                      "(default: current directory)")
 
     submit = sub.add_parser(
         "submit", help="submit a job manifest to a running daemon"
@@ -815,6 +866,18 @@ def _cmd_serve(args) -> int:
 
     from repro.service import SchedulerService, ServiceServer
 
+    rules = None
+    if args.watchdog or args.slo_rules is not None:
+        from repro.obs.alerts import DEFAULT_RULES, load_rules
+
+        if args.slo_rules is not None:
+            try:
+                rules = load_rules(args.slo_rules)
+            except (OSError, ValueError) as exc:
+                print(f"error: --slo-rules: {exc}", file=sys.stderr)
+                return 2
+        else:
+            rules = DEFAULT_RULES
     topo = _topology_factory(args)()
     service = SchedulerService(
         topo,
@@ -822,6 +885,7 @@ def _cmd_serve(args) -> int:
         store_path=str(args.store),
         max_queue_depth=args.max_queue_depth,
         decision_journal=args.decisions_out is not None,
+        watchdog_rules=rules,
     )
     if service.recovered_jobs:
         print(
@@ -840,8 +904,8 @@ def _cmd_serve(args) -> int:
     print(
         f"scheduler service ({args.scheduler}) listening on {server.url}\n"
         "verbs: POST /submit /cancel /pause /resume; "
-        "GET /jobs /jobs/<id> /state /metrics /healthz "
-        "/decisions /explain/<id> /events"
+        "GET /jobs /jobs/<id> /state /metrics /healthz /alerts "
+        "/timeseries /cluster /decisions /explain/<id> /events"
     )
     try:
         while not stop.is_set():
@@ -855,6 +919,77 @@ def _cmd_serve(args) -> int:
         print(f"{count} decision records written to {path}")
     print("scheduler service stopped")
     return 0
+
+
+def _cmd_top(args) -> int:
+    import time
+
+    from repro.analysis.top import CLEAR, render_dashboard
+
+    client, ReplayError = _service_client(args.url)
+    endpoints = (
+        ("state", "/state"),
+        ("cluster", "/cluster"),
+        ("timeseries", "/timeseries"),
+        ("alerts", "/alerts"),
+    )
+    try:
+        while True:
+            docs = {}
+            for name, path in endpoints:
+                status, doc = client.request("GET", path)
+                if status == 200:
+                    docs[name] = doc
+            frame = render_dashboard(docs, url=args.url)
+            if args.once:
+                print(frame)
+                return 0
+            print(CLEAR + frame, flush=True)
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    except ReplayError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        client.close()
+
+
+def _cmd_soak(args) -> int:
+    from repro.analysis.soak import format_soak, run_soak, write_soak
+    from repro.service.driver import ReplayError
+
+    rules = None
+    if args.slo_rules is not None:
+        from repro.obs.alerts import load_rules
+
+        try:
+            rules = load_rules(args.slo_rules)
+        except (OSError, ValueError) as exc:
+            print(f"error: --slo-rules: {exc}", file=sys.stderr)
+            return 2
+    try:
+        result = run_soak(
+            url=args.url,
+            minutes=args.minutes,
+            window_s=args.window,
+            jobs_per_burst=args.jobs_per_burst,
+            burst_every_s=args.burst_every,
+            seed=args.seed,
+            arrival_rate=args.arrival_rate,
+            topo_factory=None if args.url else _topology_factory(args),
+            scheduler=args.scheduler,
+            rules=rules,
+            progress=print,
+        )
+    except (ReplayError, RuntimeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_soak(result))
+    if args.out is not None:
+        path = write_soak(result, args.out)
+        print(f"soak artifact written to {path}")
+    return 0 if result.verdict == "clean" else 1
 
 
 def _service_client(url: str):
@@ -995,6 +1130,8 @@ def main(argv: list[str] | None = None) -> int:
         "figures": _cmd_figures,
         "bench": _cmd_bench,
         "serve": _cmd_serve,
+        "top": _cmd_top,
+        "soak": _cmd_soak,
         "submit": _cmd_submit,
         "cancel": _cmd_cancel,
         "status": _cmd_status,

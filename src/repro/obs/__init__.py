@@ -20,7 +20,11 @@ the evaluation used to recover post-hoc from ``JobRecord`` lists:
   (``/metrics``, ``/healthz``, ``/state``, ``/alerts``);
 * :mod:`repro.obs.profile` — Chrome Trace Event (Perfetto) export and
   the per-phase/critical-path profiler;
-* :mod:`repro.obs.alerts` — the declarative SLO watchdog;
+* :mod:`repro.obs.alerts` — the declarative SLO watchdog (point-in-
+  time and windowed rules with explicit NaN policies);
+* :mod:`repro.obs.timeseries` — the in-process tiered ring-buffer
+  time-series store and its sampling observer (cluster- and per-
+  machine series behind ``/timeseries`` and ``/cluster``);
 * :mod:`repro.obs.provenance` — the decision flight recorder: one
   schema-versioned "why" record per scheduling decision (candidate
   pools, per-term utility breakdown, SLO verdicts), backing
@@ -100,8 +104,12 @@ __all__ = [
     "SnapshotObserver",
     "SnapshotPublisher",
     "SpanRecorder",
+    "TIMESERIES_SCHEMA_VERSION",
     "TRACE_SCHEMA_VERSION",
     "TelemetryObserver",
+    "TieredSeries",
+    "TimeSeriesSampler",
+    "TimeSeriesStore",
     "TraceProfile",
     "Watchdog",
     "format_profile",
@@ -146,6 +154,10 @@ _LAZY = {
     "DecisionRecorder": "repro.obs.provenance",
     "PROVENANCE_SCHEMA_VERSION": "repro.obs.provenance",
     "read_decisions": "repro.obs.provenance",
+    "TimeSeriesStore": "repro.obs.timeseries",
+    "TimeSeriesSampler": "repro.obs.timeseries",
+    "TieredSeries": "repro.obs.timeseries",
+    "TIMESERIES_SCHEMA_VERSION": "repro.obs.timeseries",
 }
 
 

@@ -31,6 +31,22 @@ log, increments ``repro_alerts_fired_total{scheduler,rule}``, and is
 collected into the end-of-run summary the runner attaches to
 :attr:`SimulationResult.alerts`.
 
+**Windowed rules** evaluate a trailing window instead of the instant:
+``window`` (rounds, default 1) and ``agg`` pick the aggregate the
+threshold compares against — ``last`` (instantaneous, the default),
+``mean``/``max``/``min`` over the window, or ``rate`` (per-round
+change across the window) so alerts can fire on *trends*: a queue
+whose depth grows every round pages long before any absolute
+threshold trips.
+
+**NaN policy** is explicit per rule.  Some signals have no value yet
+(``cache_hit_rate`` is NaN before any proposal), and NaN compares
+false under every operator — historically "no data" could silently
+never page.  ``nan="skip"`` (the default) excludes NaN samples from
+evaluation and leaves the rule's streak state untouched (no data is
+neither healthy nor violating); ``nan="violate"`` treats a NaN sample
+as a violation, for signals whose absence is itself the incident.
+
 Signals are all derived from *simulation* state (sim time, sim-time
 waits), never wall clock, so a rule that fires in a scenario fires
 deterministically every run.  The watchdog is tap-only: attaching it
@@ -43,6 +59,7 @@ from __future__ import annotations
 import json
 import math
 import operator
+from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Sequence
@@ -70,10 +87,18 @@ _OPS = {
     "<=": operator.le,
 }
 
+#: window aggregates a rule may request over its trailing samples
+AGGREGATES = ("last", "mean", "max", "min", "rate")
+
+#: explicit NaN policies: ``skip`` leaves the rule's streak untouched
+#: for that round; ``violate`` counts a NaN sample as a violation
+NAN_POLICIES = ("skip", "violate")
+
 
 @dataclass(frozen=True)
 class Rule:
-    """One declarative SLO rule: ``signal op threshold`` sustained."""
+    """One declarative SLO rule: ``agg(signal, window) op threshold``
+    sustained for ``for_rounds`` rounds."""
 
     name: str
     signal: str
@@ -82,6 +107,12 @@ class Rule:
     for_rounds: int = 1
     severity: str = "warning"
     description: str = ""
+    #: trailing rounds the aggregate sees (1 = instantaneous)
+    window: int = 1
+    #: how the window collapses to one value: last/mean/max/min/rate
+    agg: str = "last"
+    #: what a NaN sample means: "skip" (default) or "violate"
+    nan: str = "skip"
 
     def __post_init__(self) -> None:
         if self.signal not in SIGNALS:
@@ -96,10 +127,69 @@ class Rule:
             )
         if self.for_rounds < 1:
             raise ValueError(f"rule {self.name!r}: for_rounds must be >= 1")
+        if self.window < 1:
+            raise ValueError(f"rule {self.name!r}: window must be >= 1")
+        if self.agg not in AGGREGATES:
+            raise ValueError(
+                f"rule {self.name!r}: unknown agg {self.agg!r} "
+                f"(known: {', '.join(AGGREGATES)})"
+            )
+        if self.nan not in NAN_POLICIES:
+            raise ValueError(
+                f"rule {self.name!r}: unknown nan policy {self.nan!r} "
+                f"(known: {', '.join(NAN_POLICIES)})"
+            )
 
     def violated(self, value: float) -> bool:
-        # nan compares false under every operator: "no data" never pages
+        # nan compares false under every operator; the explicit ``nan``
+        # policy is applied in :meth:`evaluate`, before this comparison
         return _OPS[self.op](value, self.threshold)
+
+    def evaluate(self, window_values) -> tuple[float, str]:
+        """Collapse the trailing window to ``(value, action)``.
+
+        ``action`` is ``"evaluate"`` (compare ``value`` against the
+        threshold), ``"skip"`` (no usable data this round: leave the
+        streak untouched) or ``"violate"`` (the NaN policy says a
+        missing sample pages directly).
+        """
+        current = window_values[-1]
+        if math.isnan(current) and self.nan == "violate":
+            return math.nan, "violate"
+        agg = self.agg
+        if agg == "last":
+            if math.isnan(current):
+                return math.nan, "skip"
+            return current, "evaluate"
+        # hot path: a NaN anywhere poisons sum(), so one C-speed pass
+        # detects it; without NaNs the aggregates run on the deque
+        # directly, no intermediate list (this evaluates per rule per
+        # round — its cost is pinned by the obs-overhead benchmark)
+        n = len(window_values)
+        total = sum(window_values)
+        if not math.isnan(total):
+            if agg == "mean":
+                return total / n, "evaluate"
+            if agg == "max":
+                return max(window_values), "evaluate"
+            if agg == "min":
+                return min(window_values), "evaluate"
+            # rate: per-round change across the window; needs two points
+            if n < 2:
+                return math.nan, "skip"
+            return (current - window_values[0]) / (n - 1), "evaluate"
+        finite = [v for v in window_values if not math.isnan(v)]
+        if not finite:
+            return math.nan, "skip"
+        if agg == "mean":
+            return sum(finite) / len(finite), "evaluate"
+        if agg == "max":
+            return max(finite), "evaluate"
+        if agg == "min":
+            return min(finite), "evaluate"
+        if len(finite) < 2:
+            return math.nan, "skip"
+        return (finite[-1] - finite[0]) / (len(finite) - 1), "evaluate"
 
 
 #: conservative defaults: silent on the paper's Scenario 1 workload,
@@ -191,7 +281,7 @@ def load_rules(path: Path | str) -> tuple[Rule, ...]:
             raise ValueError(f"{path}: rules[{i}] is not an object")
         unknown = set(raw) - {
             "name", "signal", "op", "threshold", "for_rounds",
-            "severity", "description",
+            "severity", "description", "window", "agg", "nan",
         }
         if unknown:
             raise ValueError(
@@ -206,13 +296,17 @@ def load_rules(path: Path | str) -> tuple[Rule, ...]:
     return tuple(rules)
 
 
-@dataclass
 class _RuleState:
     """Mutable evaluation state for one rule."""
 
-    violating_rounds: int = 0
-    active: bool = False
-    fired_count: int = 0
+    __slots__ = ("violating_rounds", "active", "fired_count", "window")
+
+    def __init__(self, rule: Rule) -> None:
+        self.violating_rounds = 0
+        self.active = False
+        self.fired_count = 0
+        #: trailing signal samples the rule's aggregate sees
+        self.window: deque = deque(maxlen=rule.window)
 
 
 class Watchdog(BaseObserver):
@@ -241,7 +335,12 @@ class Watchdog(BaseObserver):
             raise ValueError(f"duplicate rule names: {names}")
         self.scheduler = scheduler
         self.fired: list[dict] = []
-        self._state = {rule.name: _RuleState() for rule in self.rules}
+        self._state = {rule.name: _RuleState(rule) for rule in self.rules}
+        # hot-loop pairing: on_decision_round runs every rule every
+        # round, so skip the per-rule dict lookup there
+        self._pairs = tuple(
+            (rule, self._state[rule.name]) for rule in self.rules
+        )
         self._rounds = 0
         self._starved_rounds = 0
         self._postponements: dict[str, int] = {}
@@ -309,7 +408,7 @@ class Watchdog(BaseObserver):
             stats = self._cluster.engine.stats
             proposals = stats.hits + stats.misses
             hit_rate = stats.hit_rate if proposals else math.nan
-            busy = sum(len(r.gpus) for r in self._cluster.running.values())
+            busy = self._cluster.alloc.busy_count()
             total = self._total_gpus
             utilization = busy / total if total else math.nan
             running = float(len(self._cluster.running))
@@ -348,10 +447,13 @@ class Watchdog(BaseObserver):
         else:
             self._starved_rounds = 0
         signals = self.signals(queued)
-        for rule in self.rules:
-            state = self._state[rule.name]
-            value = signals[rule.signal]
-            if rule.violated(value):
+        for rule, state in self._pairs:
+            window = state.window
+            window.append(signals[rule.signal])
+            value, action = rule.evaluate(window)
+            if action == "skip":
+                continue  # no data: neither healthy nor violating
+            if action == "violate" or rule.violated(value):
                 state.violating_rounds += 1
                 if not state.active and state.violating_rounds >= rule.for_rounds:
                     state.active = True
@@ -378,6 +480,8 @@ class Watchdog(BaseObserver):
             "state": state,
             "t": t,
             "round": self._rounds,
+            "window": rule.window,
+            "agg": rule.agg,
             "description": rule.description,
         }
 
@@ -437,7 +541,9 @@ class Watchdog(BaseObserver):
 
 # re-exported for rule files shipped next to configs
 __all__ = [
+    "AGGREGATES",
     "DEFAULT_RULES",
+    "NAN_POLICIES",
     "Rule",
     "SIGNALS",
     "Watchdog",

@@ -18,6 +18,16 @@ daemon thread by ``repro simulate/compare --serve PORT``.  Endpoints:
 * ``GET /events`` — Server-Sent-Events stream of decision /
   job-state-change / round events, with ``Last-Event-ID`` replay from
   the recorder's ring buffer, so clients stop polling ``/jobs``.
+  Idle streams emit a ``: keepalive`` comment frame every
+  :attr:`IntrospectionServer.SSE_KEEPALIVE_S` seconds so proxies and
+  client timeouts do not reap quiet connections;
+* ``GET /timeseries`` — the continuous-telemetry store
+  (:mod:`repro.obs.timeseries`): every cluster and per-machine series
+  across all three downsampling tiers, or ``{"enabled": false}``
+  without a sampler attached;
+* ``GET /cluster`` — the latest per-machine heatmap values (GPU
+  occupancy, Eq. 5 fragmentation, link-sharing load), the data the
+  ``repro top`` dashboard renders.
 
 Handlers only ever read atomically-swapped immutable objects or
 lock-protected recorder entries — a scrape can never block or perturb
@@ -139,6 +149,7 @@ class IntrospectionServer:
         host: str = "127.0.0.1",
         port: int = 0,
         recorder=None,
+        timeseries=None,
     ) -> None:
         self.publisher = publisher
         self.registry = registry
@@ -146,6 +157,9 @@ class IntrospectionServer:
         #: decision flight recorder (repro.obs.provenance) backing
         #: /decisions, /explain/<id> and the /events SSE stream
         self.recorder = recorder
+        #: continuous-telemetry store (repro.obs.timeseries) backing
+        #: /timeseries and /cluster
+        self.timeseries = timeseries
         self._started_at = time.time()
         self._stopping = threading.Event()
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
@@ -164,6 +178,8 @@ class IntrospectionServer:
             "/state": lambda: (200, self.render_state(), JSON),
             "/alerts": lambda: (200, self.render_alerts(), JSON),
             "/decisions": lambda: (200, self.render_decisions(), JSON),
+            "/timeseries": lambda: (200, self.render_timeseries(), JSON),
+            "/cluster": lambda: (200, self.render_cluster(), JSON),
         }
 
     def stream_routes(self) -> dict[str, Callable]:
@@ -295,6 +311,17 @@ class IntrospectionServer:
             return json.dumps({"enabled": False, "active": [], "fired": []})
         return json.dumps(self.watchdog.published_state())
 
+    def render_timeseries(self) -> str:
+        if self.timeseries is None:
+            return json.dumps({"enabled": False, "cluster": {},
+                               "machines": {}})
+        return json.dumps(self.timeseries.document())
+
+    def render_cluster(self) -> str:
+        if self.timeseries is None:
+            return json.dumps({"enabled": False, "machines": {}})
+        return json.dumps(self.timeseries.cluster_document())
+
     def render_decisions(self) -> str:
         recorder = self.recorder
         if recorder is None:
@@ -320,6 +347,12 @@ class IntrospectionServer:
     #: stopping flag (bounds shutdown latency for idle streams)
     SSE_WAIT_S = 0.25
 
+    #: idle gap after which the stream emits a ``: keepalive`` comment
+    #: frame (SSE comments are ignored by clients but keep proxies and
+    #: socket timeouts from reaping a quiet connection); override on
+    #: the instance to tune, <= 0 disables
+    SSE_KEEPALIVE_S = 15.0
+
     def _stream_events(self, handler) -> None:
         """``GET /events``: push recorder entries as they arrive.
 
@@ -330,7 +363,9 @@ class IntrospectionServer:
         streamed decisions byte-match journaled records.  A client
         reconnecting with a ``Last-Event-ID`` header resumes from the
         ring without duplicates (entries already evicted are gone —
-        ``/decisions`` reports the drop counter).
+        ``/decisions`` reports the drop counter).  Between data frames
+        an idle stream heartbeats with ``: keepalive`` comments every
+        :attr:`SSE_KEEPALIVE_S` seconds.
         """
         recorder = self.recorder
         if recorder is None:
@@ -352,6 +387,7 @@ class IntrospectionServer:
         try:
             wfile.write(b": stream open\n\n")
             wfile.flush()
+            last_write = time.monotonic()
             while not self._stopping.is_set():
                 entries = recorder.entries_after(cursor)
                 for seq, kind, line in entries:
@@ -361,7 +397,16 @@ class IntrospectionServer:
                     cursor = seq
                 if entries:
                     wfile.flush()
+                    last_write = time.monotonic()
                 else:
                     recorder.wait_beyond(cursor, self.SSE_WAIT_S)
+                    keepalive = self.SSE_KEEPALIVE_S
+                    if (
+                        keepalive > 0
+                        and time.monotonic() - last_write >= keepalive
+                    ):
+                        wfile.write(b": keepalive\n\n")
+                        wfile.flush()
+                        last_write = time.monotonic()
         except (BrokenPipeError, ConnectionResetError, OSError):
             pass  # client went away: normal stream teardown

@@ -360,8 +360,13 @@ class ServiceTelemetry:
     repro_service_evictions_total               counter    POST /evict preemptions
                                                            applied to the engine
     repro_service_queue_depth                   gauge      jobs waiting (service)
+    repro_service_inbox_depth                   gauge      admitted jobs not yet
+                                                           fed to the engine
+                                                           (admission backlog)
     repro_service_jobs{state}                   gauge      jobs per lifecycle state
     repro_service_submission_latency_seconds    histogram  submit wall latency
+    repro_service_journal_write_latency_seconds histogram  one sqlite journal
+                                                           write (stall detector)
     ==========================================  =========  ======================
     """
 
@@ -385,12 +390,21 @@ class ServiceTelemetry:
         self._queue_depth = reg.gauge(
             "repro_service_queue_depth",
             "Jobs waiting in the service queue (admitted, not yet placed).")
+        self._inbox_depth = reg.gauge(
+            "repro_service_inbox_depth",
+            "Admitted jobs sitting in the priority inbox, not yet fed to "
+            "the engine (admission backpressure).")
         self._jobs_by_state = reg.gauge(
             "repro_service_jobs",
             "Jobs currently in each lifecycle state.", ("state",))
         self._submit_latency = reg.histogram(
             "repro_service_submission_latency_seconds",
             "Wall-clock latency of one submission (receipt to journaled).",
+            buckets=_SUBMIT_BUCKETS)
+        self._journal_latency = reg.histogram(
+            "repro_service_journal_write_latency_seconds",
+            "Wall-clock latency of one sqlite journal write (submission "
+            "or state transition) — the soak harness's stall detector.",
             buckets=_SUBMIT_BUCKETS)
 
     def submission(self, decision: str, latency_s: float) -> None:
@@ -407,6 +421,13 @@ class ServiceTelemetry:
 
     def set_queue_depth(self, depth: int) -> None:
         self._queue_depth.set(depth)
+
+    def set_inbox_depth(self, depth: int) -> None:
+        self._inbox_depth.set(depth)
+
+    def journal_write(self, latency_s: float) -> None:
+        """Record one sqlite journal write's wall-clock latency."""
+        self._journal_latency.observe(latency_s)
 
     def set_jobs_by_state(self, counts: dict) -> None:
         for state, n in counts.items():

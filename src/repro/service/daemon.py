@@ -36,12 +36,14 @@ import threading
 import time
 from dataclasses import dataclass
 
+from repro.obs.alerts import Watchdog
 from repro.obs.events import EventLog
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.provenance import DecisionRecorder
 from repro.obs.server import IntrospectionServer, Response, json_response
 from repro.obs.state import SnapshotObserver, SnapshotPublisher
 from repro.obs.telemetry import ServiceTelemetry, TelemetryObserver
+from repro.obs.timeseries import TimeSeriesSampler, TimeSeriesStore
 from repro.schedulers import make_scheduler
 from repro.schedulers.base import Scheduler
 from repro.service.queue import AdmissionDecision, QueueManager
@@ -124,12 +126,17 @@ class SchedulerService:
         extra_observers: tuple = (),
         decision_ring: int = 4096,
         decision_journal: bool = False,
+        watchdog_rules=None,
+        timeseries_capacity: int = 512,
+        sample_interval_s: float = 0.05,
     ) -> None:
         if isinstance(scheduler, str):
             scheduler = make_scheduler(scheduler)
         self.registry = registry if registry is not None else MetricsRegistry()
         self.telemetry = ServiceTelemetry(self.registry)
-        self.store = ServiceStore(store_path)
+        self.store = ServiceStore(
+            store_path, observe_write=self.telemetry.journal_write
+        )
         self.lifecycle = LifecycleTable(journal=self._journal_hook)
         self.queue = QueueManager(
             len(topo.gpus()), max_depth=max_queue_depth
@@ -162,6 +169,36 @@ class SchedulerService:
         provenance_taps = (
             (self.decision_recorder,) if self.decision_recorder else ()
         )
+        # the SLO watchdog evaluates after the telemetry observer so
+        # registry-derived signals are fresh; windowed rules let a soak
+        # run page on trends (growing queues, decaying utilization)
+        self.watchdog = (
+            Watchdog(
+                self.registry,
+                event_log,
+                watchdog_rules,
+                scheduler=scheduler.name,
+            )
+            if watchdog_rules is not None
+            else None
+        )
+        watchdog_taps = (self.watchdog,) if self.watchdog else ()
+        # the continuous-telemetry sampler behind /timeseries and
+        # /cluster; capacity 0 disables it (and the endpoints degrade
+        # to {"enabled": false})
+        self.timeseries = (
+            TimeSeriesStore(capacity=timeseries_capacity)
+            if timeseries_capacity > 0
+            else None
+        )
+        self.sampler = (
+            TimeSeriesSampler(
+                self.timeseries, min_interval_s=sample_interval_s
+            )
+            if self.timeseries is not None
+            else None
+        )
+        sampler_taps = (self.sampler,) if self.sampler is not None else ()
         self.sim = Simulator(
             topo,
             scheduler,
@@ -169,7 +206,9 @@ class SchedulerService:
             observers=[
                 _LifecycleBridge(self),
                 sim_telemetry,
+                *watchdog_taps,
                 self._snapshots,
+                *sampler_taps,
                 *provenance_taps,
                 *extra_observers,
             ],
@@ -229,6 +268,10 @@ class SchedulerService:
     def start(self) -> "SchedulerService":
         self.sim.start()
         self._snapshots.bind_simulation(self.sim)
+        if self.watchdog is not None:
+            self.watchdog.bind_simulation(self.sim)
+        if self.sampler is not None:
+            self.sampler.bind_simulation(self.sim)
         self._thread = threading.Thread(
             target=self._loop, name="repro-scheduler-loop", daemon=True
         )
@@ -278,6 +321,7 @@ class SchedulerService:
             state = JobState.SUBMITTED.value
             self.telemetry.set_queue_depth(self.queue.depth)
             self.queue.enqueue(job, priority)
+            self.telemetry.set_inbox_depth(len(self.queue))
             with self._cv:
                 self._idle = False
                 self._cv.notify_all()
@@ -497,6 +541,9 @@ class SchedulerService:
             self._gauge_stamp = now
             self.telemetry.set_jobs_by_state(self.lifecycle.counts())
             self.telemetry.set_queue_depth(self.queue.depth)
+            # unpopped inbox entries: admission backpressure distinct
+            # from the admitted-minus-retired backlog above
+            self.telemetry.set_inbox_depth(len(self.queue))
 
 
 def _record_to_dict(record: JobRecord) -> dict:
@@ -556,10 +603,11 @@ class ServiceServer(IntrospectionServer):
         super().__init__(
             service.publisher,
             service.registry,
-            watchdog,
+            watchdog if watchdog is not None else service.watchdog,
             host=host,
             port=port,
             recorder=service.decision_recorder,
+            timeseries=service.timeseries,
         )
         self.service = service
 

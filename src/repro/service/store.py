@@ -68,9 +68,20 @@ class StoredJob:
 class ServiceStore:
     """Submission/transition journal on one sqlite file."""
 
-    def __init__(self, path: str | Path, *, clock=time.time) -> None:
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        clock=time.time,
+        observe_write=None,
+    ) -> None:
         self.path = str(path)
         self.clock = clock
+        #: optional ``callable(latency_s)`` invoked after every journal
+        #: write with its wall-clock cost — the daemon points this at
+        #: the journal-write-latency histogram so a soak run can watch
+        #: for sqlite stalls (lock contention, fsync storms)
+        self.observe_write = observe_write
         self._lock = threading.Lock()
         self._db = sqlite3.connect(self.path, check_same_thread=False)
         self._db.execute("PRAGMA journal_mode=WAL")
@@ -88,6 +99,7 @@ class ServiceStore:
         """Persist one accepted submission (job row + first transition)."""
         now = self.clock()
         doc = json.dumps(job_to_dict(job), sort_keys=True)
+        t0 = time.perf_counter()
         with self._lock:
             self._db.execute(
                 "INSERT INTO jobs (job_id, manifest, priority, state, "
@@ -100,12 +112,15 @@ class ServiceStore:
                 (job.job_id, state.value, now),
             )
             self._db.commit()
+        if self.observe_write is not None:
+            self.observe_write(time.perf_counter() - t0)
 
     def journal_transition(
         self, job_id: str, frm: JobState | None, to: JobState
     ) -> None:
         """Append one lifecycle hop and refresh the job's current state."""
         now = self.clock()
+        t0 = time.perf_counter()
         with self._lock:
             self._db.execute(
                 "UPDATE jobs SET state = ?, updated_wall = ? WHERE job_id = ?",
@@ -117,6 +132,8 @@ class ServiceStore:
                 (job_id, None if frm is None else frm.value, to.value, now),
             )
             self._db.commit()
+        if self.observe_write is not None:
+            self.observe_write(time.perf_counter() - t0)
 
     # ------------------------------------------------------------------
     # reads

@@ -386,6 +386,11 @@ class AllocationState:
             g for g in self.topo.gpus(machine=machine) if g in self._gpu_owner
         ]
 
+    def busy_count(self) -> int:
+        """Allocated GPUs cluster-wide, O(1) (hot path of the
+        per-round telemetry signals)."""
+        return len(self._gpu_owner)
+
     def utilization(self) -> float:
         """Fraction of all GPUs currently allocated."""
         if not self._all_gpus:

@@ -98,6 +98,7 @@ class _Caches:
     gpu_lists: dict[tuple[str | None, str | None], list[str]] = field(
         default_factory=dict
     )
+    socket_lists: dict[str | None, list[str]] = field(default_factory=dict)
     machine_map: dict[str, str] = field(default_factory=dict)
     socket_map: dict[str, str] = field(default_factory=dict)
     #: all-pairs unscoped GPU shortest-path distances (Eq. 3's
@@ -123,6 +124,7 @@ class _Caches:
         self.paths.clear()
         self.machines = None
         self.gpu_lists.clear()
+        self.socket_lists.clear()
         self.machine_map.clear()
         self.socket_map.clear()
         self.gpu_index = None
@@ -277,11 +279,29 @@ class TopologyGraph:
         return list(self._caches.machines)
 
     def sockets(self, machine: str | None = None) -> list[str]:
-        return sorted(
+        """Socket node names, sorted.  Cached like :meth:`gpus`: a
+        per-machine miss groups the global sorted list in one pass and
+        fills every machine's entry, so sweeps that ask machine by
+        machine (the time-series sampler, Eq. 5 scoring) never rescan
+        the node table per component.  Grouping a sorted list keeps
+        each machine's sockets sorted."""
+        cached = self._caches.socket_lists.get(machine)
+        if cached is not None:
+            return list(cached)
+        if machine is not None:
+            groups: dict[str | None, list[str]] = {}
+            for name in self.sockets():
+                groups.setdefault(self._nodes[name].machine, []).append(name)
+            for group_machine, names in groups.items():
+                self._caches.socket_lists.setdefault(group_machine, names)
+            return list(self._caches.socket_lists.setdefault(machine, []))
+        names = sorted(
             n.name
             for n in self._nodes.values()
-            if n.kind is NodeKind.SOCKET and (machine is None or n.machine == machine)
+            if n.kind is NodeKind.SOCKET
         )
+        self._caches.socket_lists[None] = names
+        return list(names)
 
     def machine_of(self, name: str) -> str:
         cached = self._caches.machine_map.get(name)

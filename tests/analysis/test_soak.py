@@ -1,0 +1,115 @@
+"""Soak harness: a fast in-process run, artifact shape, verdicts."""
+
+import json
+
+import pytest
+
+from repro.analysis.soak import (
+    SOAK_SCHEMA_VERSION,
+    SoakResult,
+    SoakWindow,
+    format_soak,
+    run_soak,
+    write_soak,
+)
+from repro.topology.builders import cluster
+
+
+@pytest.fixture(scope="module")
+def soak_result():
+    """One ~1.5 s in-process soak shared by the assertions below."""
+    return run_soak(
+        minutes=0.025,
+        window_s=0.5,
+        jobs_per_burst=4,
+        burst_every_s=0.4,
+        seed=42,
+        topo_factory=lambda: cluster(2),
+    )
+
+
+class TestRunSoak:
+    def test_drives_daemon_and_collects_windows(self, soak_result):
+        assert soak_result.watchdog_enabled is True
+        assert soak_result.bursts >= 3
+        assert soak_result.submitted == soak_result.bursts * 4
+        assert soak_result.rejected == 0
+        # periodic windows plus the terminal one
+        assert len(soak_result.windows) >= 3
+        assert [w.index for w in soak_result.windows] == list(
+            range(len(soak_result.windows))
+        )
+        assert soak_result.windows[-1].submitted == soak_result.submitted
+
+    def test_windows_carry_slo_verdicts(self, soak_result):
+        for window in soak_result.windows:
+            assert window.verdict in ("clean", "violations")
+            assert window.alerts_fired_total >= 0
+        # the default rules stay silent on this tiny workload
+        assert soak_result.verdict == "clean"
+        assert soak_result.alerts_fired_total == 0
+
+    def test_timeseries_sampled_during_soak(self, soak_result):
+        assert soak_result.timeseries_samples > 0
+        assert soak_result.timeseries_machines == 2
+
+    def test_artifact_schema_and_round_trip(self, soak_result, tmp_path):
+        path = write_soak(soak_result, tmp_path)
+        assert path.name == "SOAK_TOPO_AWARE.json"
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == SOAK_SCHEMA_VERSION
+        assert doc["soak"]["scheduler"] == "TOPO-AWARE"
+        assert doc["verdict"] == "clean"
+        assert set(doc["platform"]) == {"python", "machine", "system"}
+        for window in doc["windows"]:
+            assert set(window) >= {
+                "window", "t_s", "queue_depth", "running_jobs",
+                "utilization", "alerts_active", "fired_delta", "verdict",
+            }
+
+    def test_explicit_path_respected(self, soak_result, tmp_path):
+        path = write_soak(soak_result, tmp_path / "custom.json")
+        assert path.name == "custom.json"
+        assert json.loads(path.read_text())["schema"] == SOAK_SCHEMA_VERSION
+
+    def test_format_soak_summarises(self, soak_result):
+        text = format_soak(soak_result)
+        assert "verdict: clean" in text
+        assert "watchdog on" in text
+        assert f"bursts {soak_result.bursts}" in text
+
+
+class TestVerdictLogic:
+    def make_result(self, verdicts):
+        result = SoakResult(
+            scheduler="TOPO-AWARE", url="http://x", minutes=1.0,
+            window_s=1.0, jobs_per_burst=1, burst_every_s=1.0, seed=1,
+        )
+        result.windows = [
+            SoakWindow(index=i, t_s=float(i), submitted=0, queue_depth=0,
+                       running_jobs=0, utilization=0.0, verdict=v)
+            for i, v in enumerate(verdicts)
+        ]
+        return result
+
+    def test_one_bad_window_taints_the_run(self):
+        result = self.make_result(["clean", "violations", "clean"])
+        result.verdict = (
+            "clean"
+            if all(w.verdict == "clean" for w in result.windows)
+            else "violations"
+        )
+        assert result.verdict == "violations"
+        assert "violations" in format_soak(result)
+
+    def test_window_as_dict_serialisable(self):
+        window = SoakWindow(
+            index=0, t_s=1.234567, submitted=3, queue_depth=1,
+            running_jobs=2, utilization=0.5,
+            alerts_active=["qd"], alerts_fired_total=1, fired_delta=1,
+            verdict="violations",
+        )
+        doc = window.as_dict()
+        assert doc["t_s"] == 1.235
+        assert doc["alerts_active"] == ["qd"]
+        json.dumps(doc)

@@ -1,0 +1,161 @@
+"""``repro top`` rendering: pure functions over endpoint documents."""
+
+import math
+
+from repro.analysis.top import (
+    heat_cell,
+    occupancy_bar,
+    render_alerts,
+    render_dashboard,
+    render_heatmap,
+    render_sparklines,
+    sparkline,
+)
+
+
+class TestSparkline:
+    def test_maps_range_onto_block_ramp(self):
+        line = sparkline([0.0, 1.0, 2.0, 3.0])
+        assert len(line) == 4
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_flat_series_renders_mid_ramp(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▄▄▄"
+
+    def test_nan_renders_as_gap(self):
+        line = sparkline([0.0, math.nan, 2.0])
+        assert line[1] == " "
+        assert line[0] == "▁" and line[2] == "█"
+
+    def test_all_nan_is_blank(self):
+        assert sparkline([math.nan, math.nan]) == "  "
+
+    def test_keeps_newest_points_when_wider_than_width(self):
+        line = sparkline(list(range(100)), width=10)
+        assert len(line) == 10
+        assert line[-1] == "█"  # newest (largest) survives on the right
+
+    def test_empty_series(self):
+        assert sparkline([]) == ""
+
+
+class TestCells:
+    def test_heat_cell_ramp(self):
+        assert heat_cell(0.0) == " "
+        assert heat_cell(1.0) == "█"
+        assert heat_cell(math.nan) == "?"
+        assert heat_cell(2.0) == "█"  # clamped
+
+    def test_occupancy_bar(self):
+        assert occupancy_bar(0.5, width=10) == "█████░░░░░"
+        assert occupancy_bar(0.0, width=4) == "░░░░"
+        assert occupancy_bar(1.0, width=4) == "████"
+        assert occupancy_bar(math.nan, width=4) == "????"
+
+
+class TestSections:
+    def timeseries_doc(self):
+        return {
+            "cluster": {
+                "queue_depth": {"raw": [[0.0, 2.0], [1.0, 5.0]]},
+                "running_jobs": {"raw": [[0.0, 1.0], [1.0, 3.0]]},
+                "utilization": {"raw": [[0.0, 0.2], [1.0, 0.9]]},
+            }
+        }
+
+    def cluster_doc(self, n=3):
+        return {
+            "machines": {
+                f"m{i}": {
+                    "occupancy": i / max(1, n - 1),
+                    "fragmentation": 0.1 * i,
+                    "link_load": 0.5 * i,
+                }
+                for i in range(n)
+            }
+        }
+
+    def test_sparkline_section_labels_and_ranges(self):
+        lines = render_sparklines(self.timeseries_doc())
+        assert len(lines) == 3
+        assert lines[0].strip().startswith("queue")
+        assert "(2..5)" in lines[0]
+        assert "(0.20..0.90)" in lines[2]
+
+    def test_sparkline_section_empty_without_history(self):
+        assert render_sparklines({}) == []
+
+    def test_heatmap_annotated_lines_for_small_fleets(self):
+        lines = render_heatmap(self.cluster_doc(3))
+        assert len(lines) == 3
+        assert "m0" in lines[0] and "frag 0.00" in lines[0]
+        assert "link 1.00" in lines[2]
+
+    def test_heatmap_collapses_large_fleets_to_grid(self):
+        doc = self.cluster_doc(100)
+        lines = render_heatmap(doc, rows=16, width=40)
+        assert lines[0].startswith("  100 machines")
+        # cells for idle machines are spaces: strip only the indent
+        cells = "".join(line[2:] for line in lines[1:])
+        assert len(cells) == 100  # one character per machine
+
+    def test_heatmap_placeholder_without_samples(self):
+        assert render_heatmap({}) == ["  (no per-machine samples yet)"]
+
+    def test_alerts_section(self):
+        doc = {
+            "enabled": True,
+            "active": ["qd"],
+            "fired_total": 2,
+            "rounds_evaluated": 40,
+            "fired": [{
+                "rule": "qd", "signal": "queue_depth", "op": ">",
+                "value": 9.0, "threshold": 5.0, "severity": "warning",
+                "round": 17,
+            }],
+        }
+        lines = render_alerts(doc)
+        assert "1 active" in lines[0]
+        assert "[warning] qd" in lines[1] and "round 17" in lines[1]
+
+    def test_alerts_placeholder_without_watchdog(self):
+        assert render_alerts({}) == ["alerts: (no watchdog attached)"]
+
+
+class TestDashboard:
+    def test_full_frame_composition(self):
+        docs = {
+            "state": {
+                "schema": 3, "scheduler": "TOPO-AWARE", "sim_time": 12.5,
+                "decision_rounds": 7, "queue_depth": 2,
+                "running_jobs": ["a", "b"], "gpus_busy": 6,
+                "total_gpus": 8, "finished": False,
+            },
+            "timeseries": {
+                "cluster": {
+                    "queue_depth": {"raw": [[0.0, 1.0], [1.0, 2.0]]},
+                }
+            },
+            "cluster": {
+                "machines": {"m0": {"occupancy": 0.75,
+                                    "fragmentation": 0.25,
+                                    "link_load": 0.0}}
+            },
+            "alerts": {"enabled": True, "active": [], "fired": [],
+                       "fired_total": 0, "rounds_evaluated": 7},
+        }
+        frame = render_dashboard(docs, url="http://x:1")
+        assert "repro top — TOPO-AWARE @ http://x:1" in frame
+        assert "phase: running" in frame
+        assert "sim 12.5s" in frame and "gpus 6/8" in frame
+        assert "m0" in frame and "0 active" in frame
+
+    def test_degrades_with_missing_documents(self):
+        frame = render_dashboard({})
+        assert "phase: idle" in frame
+        assert "(no per-machine samples yet)" in frame
+        assert "(no watchdog attached)" in frame
+
+    def test_finished_phase(self):
+        frame = render_dashboard({"state": {"schema": 3, "finished": True}})
+        assert "phase: finished" in frame

@@ -112,6 +112,140 @@ class TestLoadRules:
             load_rules(path)
 
 
+class TestWindowedRules:
+    def test_rejects_bad_window_agg_nan(self):
+        with pytest.raises(ValueError, match="window"):
+            Rule("r", "queue_depth", ">", 1.0, window=0)
+        with pytest.raises(ValueError, match="unknown agg"):
+            Rule("r", "queue_depth", ">", 1.0, agg="median")
+        with pytest.raises(ValueError, match="nan policy"):
+            Rule("r", "queue_depth", ">", 1.0, nan="ignore")
+
+    def test_window_aggregates(self):
+        base = dict(window=4)
+        mean = Rule("m", "queue_depth", ">", 0.0, agg="mean", **base)
+        assert mean.evaluate([1.0, 2.0, 3.0]) == (2.0, "evaluate")
+        high = Rule("h", "queue_depth", ">", 0.0, agg="max", **base)
+        assert high.evaluate([1.0, 3.0, 2.0]) == (3.0, "evaluate")
+        low = Rule("l", "queue_depth", ">", 0.0, agg="min", **base)
+        assert low.evaluate([1.0, 3.0, 2.0]) == (1.0, "evaluate")
+        last = Rule("i", "queue_depth", ">", 0.0, agg="last", **base)
+        assert last.evaluate([1.0, 3.0, 2.0]) == (2.0, "evaluate")
+
+    def test_rate_is_per_round_change_across_window(self):
+        rule = Rule("r", "queue_depth", ">", 0.0, window=8, agg="rate")
+        assert rule.evaluate([2.0, 4.0, 8.0]) == (3.0, "evaluate")
+        value, action = rule.evaluate([5.0])
+        assert action == "skip" and math.isnan(value)  # one point: no slope
+
+    def test_nan_skip_excludes_samples_from_aggregates(self):
+        rule = Rule("r", "queue_wait_p95", ">", 0.0, window=4, agg="mean")
+        value, action = rule.evaluate([math.nan])
+        assert action == "skip" and math.isnan(value)
+        assert rule.evaluate([2.0, math.nan, 4.0]) == (3.0, "evaluate")
+        # last-agg with a NaN current sample has no usable data either
+        last = Rule("i", "queue_wait_p95", ">", 0.0, window=2)
+        assert last.evaluate([2.0, math.nan])[1] == "skip"
+
+    def test_nan_violate_pages_on_missing_sample(self):
+        rule = Rule("r", "queue_wait_p95", ">", 1e9, window=4, agg="mean",
+                    nan="violate")
+        value, action = rule.evaluate([2.0, math.nan])
+        assert action == "violate" and math.isnan(value)
+        # finite samples fall through to the normal comparison
+        assert rule.evaluate([2.0, 4.0]) == (3.0, "evaluate")
+
+    def test_windowed_toml_round_trip(self, tmp_path):
+        pytest.importorskip("tomllib")
+        path = tmp_path / "rules.toml"
+        path.write_text(
+            '[[rules]]\nname = "qd-growth"\nsignal = "queue_depth"\n'
+            'op = ">"\nthreshold = 0.5\nwindow = 8\nagg = "rate"\n'
+            'nan = "skip"\nfor_rounds = 3\n'
+            '[[rules]]\nname = "cache-missing"\n'
+            'signal = "cache_hit_rate"\nop = "<"\nthreshold = 0.01\n'
+            'nan = "violate"\n'
+        )
+        growth, missing = load_rules(path)
+        assert growth.window == 8 and growth.agg == "rate"
+        assert growth.nan == "skip" and growth.for_rounds == 3
+        assert missing.window == 1 and missing.agg == "last"
+        assert missing.nan == "violate"
+        # the loaded rule evaluates like a hand-built one
+        assert growth.evaluate([0.0, 2.0, 4.0]) == (2.0, "evaluate")
+
+    def test_json_rejects_bad_windowed_fields(self, tmp_path):
+        path = tmp_path / "rules.json"
+        path.write_text(json.dumps({"rules": [
+            {"name": "x", "signal": "queue_depth", "op": ">",
+             "threshold": 1, "agg": "median"}
+        ]}))
+        with pytest.raises(ValueError, match="unknown agg"):
+            load_rules(path)
+
+    # ------------------------------------------------------------------
+    # streak semantics driven round-by-round (no registry, no cluster:
+    # every registry signal is NaN; queue_depth tracks the hook arg)
+    # ------------------------------------------------------------------
+    def drive(self, watchdog, depths):
+        for i, depth in enumerate(depths):
+            watchdog.on_decision_round(float(i), 1, depth, 0.0)
+
+    def test_skip_leaves_streak_untouched(self):
+        # utilization is NaN without a cluster or registry: a skip round
+        # between violating rounds must not reset the maturing streak
+        depth_rule = Rule("qd", "queue_depth", ">", 0.0, for_rounds=3)
+        util_rule = Rule("u", "utilization", "<", 2.0, for_rounds=1)
+        watchdog = Watchdog(None, None, (depth_rule, util_rule))
+        self.drive(watchdog, [5, 5, 0, 5, 5])
+        # qd: streak 2, reset by the healthy round, streak 2 -> no fire
+        # u: every round NaN -> skipped, never fires, never resolves
+        assert watchdog.fired == []
+        state = watchdog.published_state()
+        assert state["active"] == []
+
+    def test_windowed_mean_rides_through_one_healthy_round(self):
+        rule = Rule("qd", "queue_depth", ">", 2.0, window=3, agg="mean",
+                    for_rounds=3)
+        watchdog = Watchdog(None, None, (rule,))
+        # means over the trailing 3: 9, 9, 6, 6, 6 -> all > 2, fires at
+        # round 3 even though round 3's instantaneous depth was healthy
+        self.drive(watchdog, [9, 9, 0, 9, 9])
+        assert len(watchdog.fired) == 1
+        assert watchdog.fired[0]["round"] == 3
+        assert watchdog.fired[0]["window"] == 3
+        assert watchdog.fired[0]["agg"] == "mean"
+
+    def test_rate_rule_fires_on_sustained_growth(self):
+        rule = Rule("growth", "queue_depth", ">", 0.5, window=4, agg="rate",
+                    for_rounds=2)
+        watchdog = Watchdog(None, None, (rule,))
+        self.drive(watchdog, [0, 2, 4, 6, 8, 8, 8, 8, 8])
+        assert len(watchdog.fired) == 1
+        assert watchdog.fired[0]["value"] == 2.0  # +2 jobs per round
+        # the plateau drops the rate to 0 -> the alert resolves
+        assert watchdog.published_state()["active"] == []
+
+    def test_nan_violate_fires_without_data(self):
+        rule = Rule("dead-signal", "cache_hit_rate", "<", 0.01,
+                    nan="violate", for_rounds=2)
+        watchdog = Watchdog(None, None, (rule,))
+        self.drive(watchdog, [1, 1])
+        assert len(watchdog.fired) == 1
+        assert watchdog.fired[0]["value"] is None  # NaN serialised as null
+        json.dumps(watchdog.published_state())
+
+    def test_windowed_rule_fires_in_real_run(self):
+        rule = Rule("qd-mean", "queue_depth", ">=", 4.0, window=5,
+                    agg="mean", for_rounds=1)
+        first = run_watchdog(saturating_jobs(), power8_minsky, (rule,))
+        second = run_watchdog(saturating_jobs(), power8_minsky, (rule,))
+        for *_, result in (first, second):
+            assert len(result.alerts) == 1
+            assert result.alerts[0]["agg"] == "mean"
+        assert first[3].alerts[0]["round"] == second[3].alerts[0]["round"]
+
+
 class TestWatchdogFiring:
     def test_fires_deterministically_on_saturated_queue(self):
         rule = Rule("qw-p95", "queue_wait_p95", ">", 120.0, for_rounds=1,

@@ -154,6 +154,63 @@ class TestStream:
         assert len(doc["decisions"]) == 3
 
 
+class TestKeepalive:
+    def read_raw_lines(self, resp, n: int) -> list[str]:
+        return [
+            resp.readline().decode("utf-8").rstrip("\n") for _ in range(n)
+        ]
+
+    def test_idle_stream_emits_keepalive_comments(self):
+        recorder = DecisionRecorder(journal=True)
+        server = IntrospectionServer(
+            SnapshotPublisher(), MetricsRegistry(), recorder=recorder
+        )
+        # instance override: fast heartbeat, fast wait granularity
+        server.SSE_KEEPALIVE_S = 0.2
+        server.SSE_WAIT_S = 0.05
+        server.start()
+        client = SSEClient(server.url)
+        try:
+            # ": stream open" comment + blank, then with no events at
+            # all the idle loop must heartbeat within ~SSE_KEEPALIVE_S
+            lines = self.read_raw_lines(client.resp, 4)
+            assert lines[0] == ": stream open"
+            assert ": keepalive" in lines
+            # a slow consumer that only reads comments still gets real
+            # frames afterwards: the heartbeat never corrupts framing
+            record_decisions(recorder, 1)
+            (frame,) = client.read_frames(1)
+            assert frame["event"] == "decision"
+            assert json.loads(frame["data"])["verdict"] == "no-fit"
+        finally:
+            client.close()
+            server.stop()
+
+    def test_keepalive_disabled_with_nonpositive_interval(self):
+        recorder = DecisionRecorder(journal=True)
+        server = IntrospectionServer(
+            SnapshotPublisher(), MetricsRegistry(), recorder=recorder
+        )
+        server.SSE_KEEPALIVE_S = 0.0
+        server.SSE_WAIT_S = 0.05
+        server.start()
+        client = SSEClient(server.url)
+        try:
+            lines = self.read_raw_lines(client.resp, 2)
+            assert lines == [": stream open", ""]
+            # idle for several would-be heartbeat periods, then a real
+            # event: the very next frame is data, no comments in between
+            import time
+
+            time.sleep(0.5)
+            record_decisions(recorder, 1)
+            line = client.resp.readline().decode("utf-8").rstrip("\n")
+            assert line.startswith("id: ")
+        finally:
+            client.close()
+            server.stop()
+
+
 class TestDaemonDeterminism:
     def test_streamed_decisions_match_journal(self):
         """A client streaming from a paused daemon sees, after resume,

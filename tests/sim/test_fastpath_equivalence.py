@@ -109,18 +109,25 @@ def test_fig11_fastpath_matrix_identical(
 def test_fully_instrumented_run_identical_to_bare(scheduler_name):
     """The whole observability stack is a tap: running with the
     introspection server live (SSE stream included), span recording
-    on, and telemetry + watchdog + snapshot + decision-provenance
-    observers attached must reproduce the bare run's records
+    on, telemetry + watchdog (windowed rules included) + snapshot +
+    time-series sampler + decision-provenance observers attached, and
+    a dashboard client polling ``/timeseries``/``/cluster``/``/state``
+    over HTTP for the whole run, must reproduce the bare run's records
     bit-for-bit."""
+    import json
     import tempfile
+    import threading
+    import urllib.request
     from pathlib import Path
 
+    from repro.analysis.top import render_dashboard
     from repro.obs import EventLog, MetricsRegistry
-    from repro.obs.alerts import DEFAULT_RULES, Watchdog
+    from repro.obs.alerts import DEFAULT_RULES, Rule, Watchdog
     from repro.obs.provenance import DecisionRecorder, read_decisions
     from repro.obs.server import IntrospectionServer
     from repro.obs.state import SnapshotObserver, SnapshotPublisher
     from repro.obs.telemetry import TelemetryObserver
+    from repro.obs.timeseries import TimeSeriesSampler, TimeSeriesStore
     from repro.obs.trace import recording
     from repro.sim.runner import run_with_observers
 
@@ -132,24 +139,54 @@ def test_fully_instrumented_run_identical_to_bare(scheduler_name):
     registry = MetricsRegistry()
     log = EventLog()
     publisher = SnapshotPublisher()
-    watchdog = Watchdog(registry, log, DEFAULT_RULES, scheduler=scheduler_name)
+    rules = DEFAULT_RULES + (
+        Rule("qd-mean", "queue_depth", ">", 1e9, window=8, agg="mean"),
+        Rule("qd-rate", "queue_depth", ">", 1e9, window=8, agg="rate"),
+        Rule("hits", "cache_hit_rate", "<", -1.0, window=4, agg="min",
+             nan="violate", for_rounds=10_000),
+    )
+    watchdog = Watchdog(registry, log, rules, scheduler=scheduler_name)
     recorder = DecisionRecorder(
         journal=True, registry=registry, scheduler=scheduler_name
     )
+    store = TimeSeriesStore()
+    sampler = TimeSeriesSampler(store, min_interval_s=0.0)
     observers = (
         TelemetryObserver(registry, log, scheduler=scheduler_name),
         watchdog,
         SnapshotObserver(publisher),
+        sampler,
         recorder,
     )
-    with IntrospectionServer(publisher, registry, watchdog, recorder=recorder):
-        with recording():
-            instrumented = run_with_observers(
-                cluster(3),
-                make_scheduler(scheduler_name),
-                jobs,
-                observers=observers,
-            )
+    with IntrospectionServer(
+        publisher, registry, watchdog, recorder=recorder, timeseries=store
+    ) as server:
+        stop_polling = threading.Event()
+        frames = []
+
+        def poll_dashboard():
+            while not stop_polling.is_set():
+                docs = {}
+                for name in ("state", "cluster", "timeseries", "alerts"):
+                    with urllib.request.urlopen(
+                        f"{server.url}/{name}", timeout=5
+                    ) as resp:
+                        docs[name] = json.load(resp)
+                frames.append(render_dashboard(docs, url=server.url))
+
+        poller = threading.Thread(target=poll_dashboard, daemon=True)
+        poller.start()
+        try:
+            with recording():
+                instrumented = run_with_observers(
+                    cluster(3),
+                    make_scheduler(scheduler_name),
+                    jobs,
+                    observers=observers,
+                )
+        finally:
+            stop_polling.set()
+            poller.join(10.0)
 
     _assert_identical(bare, instrumented)
     assert bare.makespan == instrumented.makespan
@@ -160,6 +197,15 @@ def test_fully_instrumented_run_identical_to_bare(scheduler_name):
     assert registry.get("repro_jobs_finished_total").value(
         scheduler=scheduler_name
     ) == len(jobs)
+    # the sampler filled per-machine history and the dashboard client
+    # rendered live frames from the wire documents
+    assert store.samples_taken > 0
+    assert store.machines() and len(store.machines()) == 3
+    assert store.get("occupancy", store.machines()[0]) is not None
+    assert frames and any("repro top" in frame for frame in frames)
+    # the quiet windowed rules never fired (absurd thresholds), and the
+    # nan="violate" rule never matured (absurd for_rounds)
+    assert instrumented.alerts == []
     # the recorder captured every placement and its journal round-trips
     assert recorder.counts()["recorded"] > 0
     assert registry.get("repro_decisions_recorded_total").value(
